@@ -1,0 +1,82 @@
+//! Ablation kernels: LDE on/off selection, joint vs independent tuning,
+//! and reconciliation policies.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use prima_core::{enumerate_configs, reconcile, Optimizer, PortConstraint};
+use prima_layout::{generate, CellConfig, PlacementPattern};
+use prima_pdk::Technology;
+use prima_primitives::{Bias, Library};
+
+fn bench(c: &mut Criterion) {
+    let tech = Technology::finfet7();
+    let mut tech_nolde = tech.clone();
+    for lde in [&mut tech_nolde.lde_n, &mut tech_nolde.lde_p] {
+        lde.kvth_lod = 0.0;
+        lde.kmu_lod = 0.0;
+        lde.kvth_wpe = 0.0;
+    }
+    let lib = Library::standard();
+    let dp = lib.get("dp").unwrap();
+    let bias = Bias::nominal(&tech, &dp.class);
+    let configs = enumerate_configs(96, &[4, 8], 2);
+
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    g.bench_function("selection_with_lde", |b| {
+        b.iter(|| Optimizer::new(&tech).select(dp, &bias, &configs, 3).unwrap())
+    });
+    g.bench_function("selection_without_lde", |b| {
+        b.iter(|| {
+            Optimizer::new(&tech_nolde)
+                .select(dp, &bias, &configs, 3)
+                .unwrap()
+        })
+    });
+
+    let csi = lib.get("csi").unwrap();
+    let bias_csi = Bias::nominal(&tech, &csi.class);
+    let layout = generate(
+        &tech,
+        &csi.spec,
+        &CellConfig::new(4, 4, 1, PlacementPattern::Abab),
+    )
+    .unwrap();
+    let mut csi_ind = csi.clone();
+    for t in &mut csi_ind.tuning {
+        t.correlated_with = None;
+    }
+    g.bench_function("tuning_correlated", |b| {
+        b.iter(|| {
+            let mut o = Optimizer::new(&tech);
+            o.max_tuning_wires = 3;
+            o.tune(csi, &bias_csi, layout.clone()).unwrap()
+        })
+    });
+    g.bench_function("tuning_independent", |b| {
+        b.iter(|| {
+            let mut o = Optimizer::new(&tech);
+            o.max_tuning_wires = 3;
+            o.tune(&csi_ind, &bias_csi, layout.clone()).unwrap()
+        })
+    });
+
+    let a = PortConstraint {
+        net: "x".into(),
+        w_min: 1,
+        w_max: Some(2),
+        costs: vec![1.0, 1.0, 3.0, 6.0, 10.0, 15.0],
+    };
+    let bcon = PortConstraint {
+        net: "x".into(),
+        w_min: 5,
+        w_max: None,
+        costs: vec![9.0, 7.0, 5.0, 3.0, 2.0, 1.8],
+    };
+    g.bench_function("reconcile_disjoint", |b| {
+        b.iter(|| reconcile(&[a.clone(), bcon.clone()]))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Fig. 2 / Table I kernel: the common-source-amplifier circuit testbench
+//! (DC + AC sweep + measurements) that every wire-width row re-runs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use prima_flow::circuits::CsAmp;
+use prima_flow::Realization;
+use prima_pdk::Technology;
+use prima_primitives::{ExternalWire, Library};
+
+fn bench(c: &mut Criterion) {
+    let tech = Technology::finfet7();
+    let lib = Library::standard();
+    let mut g = c.benchmark_group("fig2_table1");
+    g.sample_size(10);
+    g.bench_function("cs_amp_measure_schematic", |b| {
+        b.iter(|| CsAmp::measure(&tech, &lib, &Realization::schematic()).unwrap())
+    });
+    let mut wired = Realization::schematic();
+    wired.net_wires.insert(
+        "vout".to_string(),
+        ExternalWire { r_ohm: 200.0, c_f: 1e-15 },
+    );
+    g.bench_function("cs_amp_measure_wired", |b| {
+        b.iter(|| CsAmp::measure(&tech, &lib, &wired).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

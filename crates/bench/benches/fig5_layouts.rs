@@ -1,0 +1,23 @@
+//! Fig. 5 kernel: primitive cell generation across the nfin/nf/m space.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use prima_layout::{generate, CellConfig, PlacementPattern};
+use prima_pdk::Technology;
+use prima_primitives::Library;
+
+fn bench(c: &mut Criterion) {
+    let tech = Technology::finfet7();
+    let lib = Library::standard();
+    let dp = lib.get("dp").unwrap();
+    let mut g = c.benchmark_group("fig5_layouts");
+    for (nfin, nf, m) in [(8u32, 20u32, 6u32), (16, 12, 5), (24, 20, 2)] {
+        g.bench_function(format!("generate_dp_{nfin}x{nf}x{m}"), |b| {
+            let cfg = CellConfig::new(nfin, nf, m, PlacementPattern::Abba);
+            b.iter(|| generate(&tech, &dp.spec, &cfg).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Table III kernel: one full three-metric evaluation of a DP layout
+//! candidate (the unit of work the selection phase parallelizes).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use prima_layout::{generate, CellConfig, PlacementPattern};
+use prima_pdk::Technology;
+use prima_primitives::{evaluate_all, Bias, LayoutView, Library};
+
+fn bench(c: &mut Criterion) {
+    let tech = Technology::finfet7();
+    let lib = Library::standard();
+    let dp = lib.get("dp").unwrap();
+    let bias = Bias::nominal(&tech, &dp.class);
+    let layout = generate(
+        &tech,
+        &dp.spec,
+        &CellConfig::new(8, 20, 6, PlacementPattern::Abba),
+    )
+    .unwrap();
+    let mut g = c.benchmark_group("table3");
+    g.sample_size(20);
+    g.bench_function("dp_candidate_evaluation", |b| {
+        b.iter(|| {
+            evaluate_all(
+                &tech,
+                dp,
+                LayoutView::Layout(&layout),
+                &bias,
+                &Default::default(),
+            )
+            .unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

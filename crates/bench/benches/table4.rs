@@ -1,0 +1,38 @@
+//! Table IV kernel: one port-constraint sweep point (primitive evaluated
+//! with global-route RC attached).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use prima_core::{route_wire, GlobalRoute};
+use prima_pdk::Technology;
+use prima_primitives::{evaluate_all, Bias, LayoutView, Library};
+use std::collections::HashMap;
+
+fn bench(c: &mut Criterion) {
+    let tech = Technology::finfet7();
+    let lib = Library::standard();
+    let dp = lib.get("dp").unwrap();
+    let bias = Bias::nominal(&tech, &dp.class);
+    let route = GlobalRoute { layer: 3, len_nm: 2000, via_ends: 2 };
+    let mut ext = HashMap::new();
+    for net in ["da", "db"] {
+        ext.insert(net.to_string(), route_wire(&tech, &route, 3));
+    }
+    let mut g = c.benchmark_group("table4");
+    g.sample_size(20);
+    g.bench_function("dp_port_sweep_point", |b| {
+        b.iter(|| {
+            evaluate_all(
+                &tech,
+                dp,
+                LayoutView::Schematic { total_fins: 960 },
+                &bias,
+                &ext,
+            )
+            .unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Table V kernel: a full Algorithm 1 selection pass (parallel candidate
+//! fan-out included).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use prima_core::{enumerate_configs, Optimizer};
+use prima_pdk::Technology;
+use prima_primitives::{Bias, Library};
+
+fn bench(c: &mut Criterion) {
+    let tech = Technology::finfet7();
+    let lib = Library::standard();
+    let dp = lib.get("dp").unwrap();
+    let bias = Bias::nominal(&tech, &dp.class);
+    let configs = enumerate_configs(96, &[4, 8], 4);
+    let mut g = c.benchmark_group("table5");
+    g.sample_size(10);
+    g.bench_function("dp_selection_96fins", |b| {
+        b.iter(|| {
+            Optimizer::new(&tech)
+                .select(dp, &bias, &configs, 3)
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

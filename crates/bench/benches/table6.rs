@@ -1,0 +1,25 @@
+//! Table VI kernels: OTA circuit measurement and the conventional flow.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use prima_flow::circuits::FiveTOta;
+use prima_flow::{conventional_flow, Realization};
+use prima_pdk::Technology;
+use prima_primitives::Library;
+
+fn bench(c: &mut Criterion) {
+    let tech = Technology::finfet7();
+    let lib = Library::standard();
+    let mut g = c.benchmark_group("table6");
+    g.sample_size(10);
+    g.bench_function("ota_measure_schematic", |b| {
+        b.iter(|| FiveTOta::measure(&tech, &lib, &Realization::schematic()).unwrap())
+    });
+    let spec = FiveTOta::spec();
+    g.bench_function("ota_conventional_flow", |b| {
+        b.iter(|| conventional_flow(&tech, &lib, &spec, 42).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Table VII kernel: one VCO transient frequency measurement (reduced
+//! four-stage ring).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use prima_flow::circuits::RoVco;
+use prima_flow::Realization;
+use prima_pdk::Technology;
+use prima_primitives::Library;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let tech = Technology::finfet7();
+    let lib = Library::standard();
+    let vco = RoVco::small();
+    let mut g = c.benchmark_group("table7");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(20));
+    g.bench_function("vco4_frequency_at_full_control", |b| {
+        b.iter(|| {
+            vco.frequency_at(&tech, &lib, &Realization::schematic(), 0.5)
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Table VIII kernel: the full optimized flow on the smallest circuit.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use prima_flow::circuits::CsAmp;
+use prima_flow::optimized_flow;
+use prima_pdk::Technology;
+use prima_primitives::Library;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let tech = Technology::finfet7();
+    let lib = Library::standard();
+    let spec = CsAmp::spec();
+    let biases = CsAmp::biases(&tech, &lib).unwrap();
+    let mut g = c.benchmark_group("table8");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(20));
+    g.bench_function("cs_amp_optimized_flow", |b| {
+        b.iter(|| optimized_flow(&tech, &lib, &spec, &biases, 42).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

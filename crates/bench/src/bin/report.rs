@@ -1,0 +1,78 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! Usage:
+//!   cargo run --release -p prima-bench --bin report            # everything
+//!   cargo run --release -p prima-bench --bin report -- table3  # one exhibit
+//!   cargo run --release -p prima-bench --bin report -- fast    # skip slow rows
+//!
+//! Exhibits: fig2 (≡ table1), table2, fig3, fig5, table3, table4, fig6,
+//! table5, table6, table7, table8, ablations.
+
+use prima_bench::*;
+
+const EXHIBITS: &[&str] = &[
+    "fig2", "table2", "fig3", "fig5", "table3", "table4", "fig6", "table5", "table6", "table7",
+    "table8", "ablations",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("usage: report [fast] [exhibit…]\n");
+        println!("exhibits (default: all): {}", EXHIBITS.join(", "));
+        println!("`fast` shrinks the slow rows (manual proxy, 8-stage VCO).");
+        return;
+    }
+    for a in &args {
+        if a != "fast" && a != "table1" && !EXHIBITS.contains(&a.as_str()) {
+            eprintln!("unknown exhibit {a}; try --help");
+            std::process::exit(1);
+        }
+    }
+    let fast = args.iter().any(|a| a == "fast");
+    let wanted: Vec<&str> = args
+        .iter()
+        .filter(|a| *a != "fast")
+        .map(String::as_str)
+        .collect();
+    let all = wanted.is_empty();
+    let run = |name: &str| all || wanted.contains(&name);
+
+    let env = Env::new();
+    if run("fig2") || run("table1") {
+        println!("{}", fig2_table1(&env));
+    }
+    if run("table2") {
+        println!("{}", table2(&env));
+    }
+    if run("fig3") {
+        println!("{}", fig3(&env));
+    }
+    if run("fig5") {
+        println!("{}", fig5(&env));
+    }
+    if run("table3") {
+        println!("{}", table3(&env));
+    }
+    if run("table4") {
+        println!("{}", table4(&env));
+    }
+    if run("fig6") {
+        println!("{}", fig6(&env));
+    }
+    if run("table5") {
+        println!("{}", table5(&env));
+    }
+    if run("table6") {
+        println!("{}", table6(&env, fast));
+    }
+    if run("table7") {
+        println!("{}", table7(&env, fast));
+    }
+    if run("table8") {
+        println!("{}", table8(&env));
+    }
+    if run("ablations") {
+        println!("{}", ablations(&env));
+    }
+}

@@ -1,0 +1,127 @@
+//! # prima-core
+//!
+//! The optimized-primitives methodology of the DATE 2021 paper, on top of
+//! the `prima-*` substrates:
+//!
+//! * **Cost model** ([`cost`]) — Eqs. (5)–(6): weighted sum of per-metric
+//!   deviations of the layout from the schematic reference.
+//! * **Primitive layout optimization** ([`selection`], [`tuning`]) —
+//!   Algorithm 1: enumerate `nfin`/`nf`/`m`/pattern configurations at
+//!   constant total fins, simulate each metric, bin by aspect ratio, keep
+//!   the per-bin winners, then add parallel wires at the tuning terminals
+//!   until the cost stops improving (or its maximum-curvature point).
+//! * **Primitive port optimization** ([`ports`]) — Algorithm 2: convert
+//!   global-route geometry into port wiring RC, sweep the number of
+//!   parallel routes, derive `[w_min, w_max]` interval constraints per net,
+//!   and reconcile constraints across primitives sharing a net.
+//! * **Accounting** ([`accounting`]) — simulation counting per phase, the
+//!   basis of the paper's Table V runtime analysis.
+//!
+//! ## Example
+//!
+//! ```no_run
+//! use prima_core::{enumerate_configs, Optimizer};
+//! use prima_pdk::Technology;
+//! use prima_primitives::{Bias, Library};
+//!
+//! let tech = Technology::finfet7();
+//! let lib = Library::standard();
+//! let dp = lib.get("dp").unwrap();
+//! let bias = Bias::nominal(&tech, &dp.class);
+//! let opt = Optimizer::new(&tech);
+//! let configs = enumerate_configs(960, &[8, 12, 16, 24], 2);
+//! let picks = opt.select(dp, &bias, &configs, 3).unwrap();
+//! let tuned = opt.tune(dp, &bias, picks[0].layout.clone()).unwrap();
+//! assert!(tuned.cost <= picks[0].cost);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod accounting;
+pub mod cost;
+pub mod ports;
+pub mod selection;
+pub mod tuning;
+
+use std::fmt;
+
+use prima_layout::LayoutError;
+use prima_pdk::Technology;
+use prima_primitives::EvalError;
+
+pub use accounting::{Phase, SimCounter};
+pub use cost::{cost_of, deviation_percent, CostBreakdown};
+pub use ports::{reconcile, route_wire, GlobalRoute, PortConstraint, ReconciledNet};
+pub use selection::{enumerate_configs, Evaluated};
+
+/// Errors from the optimization flow.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OptError {
+    /// A primitive evaluation failed.
+    Eval(EvalError),
+    /// Layout generation failed.
+    Layout(LayoutError),
+    /// No feasible candidate survived (empty config list, empty bins…).
+    NoCandidates {
+        /// What stage ran dry.
+        stage: String,
+    },
+}
+
+impl fmt::Display for OptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptError::Eval(e) => write!(f, "evaluation failed: {e}"),
+            OptError::Layout(e) => write!(f, "layout generation failed: {e}"),
+            OptError::NoCandidates { stage } => write!(f, "no candidates in {stage}"),
+        }
+    }
+}
+
+impl std::error::Error for OptError {}
+
+impl From<EvalError> for OptError {
+    fn from(e: EvalError) -> Self {
+        OptError::Eval(e)
+    }
+}
+
+impl From<LayoutError> for OptError {
+    fn from(e: LayoutError) -> Self {
+        OptError::Layout(e)
+    }
+}
+
+/// The methodology façade: owns tech + counters, exposes the two
+/// optimization steps.
+#[derive(Debug)]
+pub struct Optimizer<'t> {
+    tech: &'t Technology,
+    counter: SimCounter,
+    /// Maximum parallel wires explored during primitive tuning.
+    pub max_tuning_wires: u32,
+    /// Maximum parallel routes explored during port optimization.
+    pub max_port_routes: u32,
+}
+
+impl<'t> Optimizer<'t> {
+    /// Creates an optimizer over a technology with default sweep limits.
+    pub fn new(tech: &'t Technology) -> Self {
+        Optimizer {
+            tech,
+            counter: SimCounter::new(),
+            max_tuning_wires: 7,
+            max_port_routes: 8,
+        }
+    }
+
+    /// The technology in use.
+    pub fn tech(&self) -> &Technology {
+        self.tech
+    }
+
+    /// The simulation counter (shared across phases).
+    pub fn counter(&self) -> &SimCounter {
+        &self.counter
+    }
+}

@@ -1,0 +1,255 @@
+//! Primitive selection (Algorithm 1, step 1): enumerate layout
+//! configurations at constant total fins, simulate every metric of each,
+//! bin by aspect ratio, and keep the minimum-cost layout per bin.
+
+use prima_layout::{generate, CellConfig, PlacementPattern, PrimitiveLayout};
+use prima_primitives::{evaluate_all, Bias, LayoutView, MetricValues, PrimitiveDef};
+
+use crate::accounting::Phase;
+use crate::cost::{cost_of, CostBreakdown};
+use crate::{OptError, Optimizer};
+
+/// A fully evaluated layout candidate.
+#[derive(Debug, Clone)]
+pub struct Evaluated {
+    /// The generated (and possibly tuned) layout.
+    pub layout: PrimitiveLayout,
+    /// Total cost (Eq. 5).
+    pub cost: f64,
+    /// Per-metric deviations.
+    pub breakdown: Vec<CostBreakdown>,
+    /// Schematic reference metric values.
+    pub sch: MetricValues,
+    /// Layout metric values.
+    pub values: MetricValues,
+}
+
+/// Enumerates `nfin`/`nf`/`m` factorizations of `total_fins` combined with
+/// every placement pattern and both dummy settings — the Fig. 5 option
+/// space plus the dummy trade-off the paper calls out ("dummies reduce LOD
+/// effects, but increase area and wire parasitics").
+///
+/// `nfin` is restricted to the given choices; `m` ranges `1..=m_max`;
+/// `nf` must land in `[2, 64]`.
+pub fn enumerate_configs(total_fins: u64, nfin_choices: &[u32], m_max: u32) -> Vec<CellConfig> {
+    let mut out = Vec::new();
+    for &nfin in nfin_choices {
+        if nfin == 0 || !total_fins.is_multiple_of(nfin as u64) {
+            continue;
+        }
+        let rest = total_fins / nfin as u64;
+        for m in 1..=m_max {
+            if !rest.is_multiple_of(m as u64) {
+                continue;
+            }
+            let nf = rest / m as u64;
+            if !(2..=64).contains(&nf) {
+                continue;
+            }
+            for pattern in PlacementPattern::ALL {
+                for dummies in [true, false] {
+                    let mut cfg = CellConfig::new(nfin, nf as u32, m, pattern);
+                    cfg.dummies = dummies;
+                    out.push(cfg);
+                }
+            }
+        }
+    }
+    out
+}
+
+impl<'t> Optimizer<'t> {
+    /// Evaluates the schematic reference metric values of a primitive.
+    ///
+    /// # Errors
+    ///
+    /// Propagates testbench failures.
+    pub fn schematic_reference(
+        &self,
+        def: &PrimitiveDef,
+        bias: &Bias,
+        total_fins: u64,
+    ) -> Result<MetricValues, OptError> {
+        let sch = evaluate_all(
+            self.tech(),
+            def,
+            LayoutView::Schematic { total_fins },
+            bias,
+            &Default::default(),
+        )?;
+        self.counter().record(Phase::Selection, def.metrics.len());
+        Ok(sch)
+    }
+
+    /// Evaluates one concrete layout against a precomputed schematic
+    /// reference.
+    ///
+    /// # Errors
+    ///
+    /// Propagates testbench failures.
+    pub fn evaluate_layout(
+        &self,
+        def: &PrimitiveDef,
+        bias: &Bias,
+        layout: PrimitiveLayout,
+        sch: &MetricValues,
+        phase: Phase,
+    ) -> Result<Evaluated, OptError> {
+        let values = evaluate_all(
+            self.tech(),
+            def,
+            LayoutView::Layout(&layout),
+            bias,
+            &Default::default(),
+        )?;
+        self.counter().record(phase, def.metrics.len());
+        let (cost, breakdown) = cost_of(&def.metrics, sch, &values);
+        Ok(Evaluated {
+            layout,
+            cost,
+            breakdown,
+            sch: sch.clone(),
+            values,
+        })
+    }
+
+    /// Algorithm 1, step 1: generates and evaluates every configuration,
+    /// splits candidates into `n_bins` aspect-ratio bins, and returns the
+    /// minimum-cost candidate of each bin (ordered by aspect ratio).
+    ///
+    /// All candidate evaluations are independent and run on worker threads,
+    /// mirroring the paper's parallel-simulation argument (Table V).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptError::NoCandidates`] for an empty config list and
+    /// propagates generation/evaluation failures.
+    pub fn select(
+        &self,
+        def: &PrimitiveDef,
+        bias: &Bias,
+        configs: &[CellConfig],
+        n_bins: usize,
+    ) -> Result<Vec<Evaluated>, OptError> {
+        if configs.is_empty() || n_bins == 0 {
+            return Err(OptError::NoCandidates {
+                stage: "selection: empty configuration list".to_string(),
+            });
+        }
+        let sch = self.schematic_reference(def, bias, configs[0].total_fins())?;
+
+        // Evaluate candidates in parallel.
+        let results: Vec<Result<Evaluated, OptError>> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = configs
+                .iter()
+                .map(|cfg| {
+                    let sch = &sch;
+                    scope.spawn(move |_| -> Result<Evaluated, OptError> {
+                        let layout = generate(self.tech(), &def.spec, cfg)?;
+                        self.evaluate_layout(def, bias, layout, sch, Phase::Selection)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("candidate evaluation panicked"))
+                .collect()
+        })
+        .expect("evaluation scope panicked");
+
+        let mut evaluated: Vec<Evaluated> = results.into_iter().collect::<Result<_, _>>()?;
+        evaluated.sort_by(|a, b| {
+            a.layout
+                .aspect_ratio()
+                .partial_cmp(&b.layout.aspect_ratio())
+                .expect("aspect ratios are finite")
+        });
+
+        // Quantile binning over the aspect-ratio order, then min cost per bin.
+        let n_bins = n_bins.min(evaluated.len());
+        let mut picks: Vec<Evaluated> = Vec::with_capacity(n_bins);
+        let chunk = evaluated.len().div_ceil(n_bins);
+        for bin in evaluated.chunks(chunk) {
+            let best = bin
+                .iter()
+                .min_by(|a, b| a.cost.partial_cmp(&b.cost).expect("finite costs"))
+                .expect("bins are non-empty");
+            picks.push(best.clone());
+        }
+        Ok(picks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prima_pdk::Technology;
+    use prima_primitives::Library;
+
+    #[test]
+    fn enumeration_covers_fig5_configs() {
+        let configs = enumerate_configs(960, &[8, 12, 16, 24], 8);
+        // Must contain the paper's Table III corners (as config triples).
+        for (nfin, nf, m) in [(8u32, 20u32, 6u32), (16, 12, 5), (24, 20, 2), (12, 20, 4)] {
+            assert!(
+                configs
+                    .iter()
+                    .any(|c| c.nfin == nfin && c.nf == nf && c.m == m),
+                "missing ({nfin},{nf},{m})"
+            );
+        }
+        // Every candidate preserves total fins.
+        for c in &configs {
+            assert_eq!(c.total_fins(), 960);
+        }
+        // Patterns × dummy settings appear six-fold per shape.
+        assert_eq!(configs.len() % 6, 0);
+        // Both dummy settings are present.
+        assert!(configs.iter().any(|c| c.dummies));
+        assert!(configs.iter().any(|c| !c.dummies));
+    }
+
+    #[test]
+    fn enumeration_handles_non_divisible() {
+        assert!(enumerate_configs(7, &[2, 4], 4).is_empty());
+        let one_fin = enumerate_configs(8, &[4], 2);
+        assert!(!one_fin.is_empty());
+    }
+
+    #[test]
+    fn select_returns_binned_options() {
+        let tech = Technology::finfet7();
+        let lib = Library::standard();
+        let dp = lib.get("dp").unwrap();
+        let bias = Bias::nominal(&tech, &dp.class);
+        let opt = Optimizer::new(&tech);
+        // A smaller device keeps the test fast: 96 fins.
+        let configs = enumerate_configs(96, &[4, 8], 4);
+        assert!(configs.len() >= 9);
+        let picks = opt.select(dp, &bias, &configs, 3).unwrap();
+        assert_eq!(picks.len(), 3);
+        // Ordered by aspect ratio.
+        for w in picks.windows(2) {
+            assert!(w[0].layout.aspect_ratio() <= w[1].layout.aspect_ratio());
+        }
+        // Costs are finite and the counter saw every simulation.
+        for p in &picks {
+            assert!(p.cost.is_finite());
+        }
+        let sims = opt.counter().count(crate::Phase::Selection);
+        assert_eq!(sims, (configs.len() + 1) * dp.metrics.len());
+    }
+
+    #[test]
+    fn select_rejects_empty_inputs() {
+        let tech = Technology::finfet7();
+        let lib = Library::standard();
+        let dp = lib.get("dp").unwrap();
+        let bias = Bias::nominal(&tech, &dp.class);
+        let opt = Optimizer::new(&tech);
+        assert!(matches!(
+            opt.select(dp, &bias, &[], 3),
+            Err(OptError::NoCandidates { .. })
+        ));
+    }
+}

@@ -1,0 +1,123 @@
+//! # prima-flow
+//!
+//! End-to-end hierarchical analog layout flows over the prima substrates,
+//! reproducing the paper's evaluation (§IV):
+//!
+//! * **Benchmark circuits** ([`circuits`]) — the common-source amplifier of
+//!   Fig. 2/Table I, the high-frequency five-transistor OTA, the StrongARM
+//!   comparator, and the eight-stage differential RO-VCO, each expressed as
+//!   primitive instances plus a circuit-level testbench.
+//! * **Flows** ([`flows`]) — `optimized` (this work: primitive selection →
+//!   tuning → placement → global routing → port optimization),
+//!   `conventional` (geometry-only: default cells, single wires), and a
+//!   `manual` proxy (extended search standing in for expert layout; see
+//!   DESIGN.md for the substitution argument).
+//! * **Assembly** ([`builder`]) — expands primitive instances (schematic or
+//!   extracted layouts) into one flat simulator circuit, inserting
+//!   global-route RC on the top-level nets and supply IR resistance.
+
+#![forbid(unsafe_code)]
+
+pub mod builder;
+pub mod circuits;
+pub mod flows;
+
+use std::fmt;
+
+use prima_core::OptError;
+use prima_place::PlaceError;
+use prima_primitives::EvalError;
+use prima_route::RouteError;
+use prima_spice::analysis::AnalysisError;
+use prima_spice::netlist::SpiceError;
+
+pub use builder::{build_circuit, PrimitiveInst, Realization};
+pub use flows::{
+    conventional_flow, manual_flow, optimized_flow, optimized_flow_with, FlowKind, FlowOptions,
+    FlowOutcome,
+};
+
+/// Errors from circuit assembly and flow execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlowError {
+    /// A referenced primitive is missing from the library.
+    UnknownPrimitive {
+        /// The missing library key.
+        name: String,
+    },
+    /// An instance connection references a port the primitive lacks.
+    BadConnection {
+        /// Instance name.
+        instance: String,
+        /// The offending port.
+        port: String,
+    },
+    /// Netlist construction failed.
+    Spice(SpiceError),
+    /// Simulation failed.
+    Analysis(AnalysisError),
+    /// Primitive evaluation failed.
+    Eval(EvalError),
+    /// The optimization step failed.
+    Opt(OptError),
+    /// Placement failed.
+    Place(PlaceError),
+    /// Routing failed.
+    Route(RouteError),
+    /// A circuit-level measurement could not be extracted.
+    Measurement {
+        /// What failed.
+        what: String,
+    },
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::UnknownPrimitive { name } => write!(f, "unknown primitive {name}"),
+            FlowError::BadConnection { instance, port } => {
+                write!(f, "instance {instance} connects missing port {port}")
+            }
+            FlowError::Spice(e) => write!(f, "netlist: {e}"),
+            FlowError::Analysis(e) => write!(f, "analysis: {e}"),
+            FlowError::Eval(e) => write!(f, "evaluation: {e}"),
+            FlowError::Opt(e) => write!(f, "optimization: {e}"),
+            FlowError::Place(e) => write!(f, "placement: {e}"),
+            FlowError::Route(e) => write!(f, "routing: {e}"),
+            FlowError::Measurement { what } => write!(f, "measurement: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for FlowError {}
+
+impl From<SpiceError> for FlowError {
+    fn from(e: SpiceError) -> Self {
+        FlowError::Spice(e)
+    }
+}
+impl From<AnalysisError> for FlowError {
+    fn from(e: AnalysisError) -> Self {
+        FlowError::Analysis(e)
+    }
+}
+impl From<EvalError> for FlowError {
+    fn from(e: EvalError) -> Self {
+        FlowError::Eval(e)
+    }
+}
+impl From<OptError> for FlowError {
+    fn from(e: OptError) -> Self {
+        FlowError::Opt(e)
+    }
+}
+impl From<PlaceError> for FlowError {
+    fn from(e: PlaceError) -> Self {
+        FlowError::Place(e)
+    }
+}
+impl From<RouteError> for FlowError {
+    fn from(e: RouteError) -> Self {
+        FlowError::Route(e)
+    }
+}

@@ -1,0 +1,57 @@
+//! # prima-layout
+//!
+//! Parameterized FinFET primitive cell generation, in the style of the
+//! ALIGN cell generator the paper builds on (Fig. 5): a primitive layout is
+//! a tiling of unit transistors controlled by
+//!
+//! * `nfin` — fins per finger,
+//! * `nf`   — fingers per unit,
+//! * `m`    — unit multiplicity (rows), and
+//! * a placement pattern (`ABBA` common-centroid, `ABAB` interdigitated,
+//!   `AABB` non-common-centroid), plus optional edge dummies.
+//!
+//! From the generated geometry the crate extracts what the optimized-
+//! primitives methodology consumes:
+//!
+//! * per-net wire parasitics (trunk/stub resistance, wire capacitance) with
+//!   a tunable number of parallel trunk wires — the paper's "primitive
+//!   tuning" knob,
+//! * junction capacitance per net from real diffusion-sharing analysis, and
+//! * per-device LDE geometry (SA/SB stress distances, SC well proximity,
+//!   x-centroid for the systematic process gradient) converted into
+//!   `delta_vth` / `mobility_scale` shifts via the PDK coefficients.
+//!
+//! ## Example
+//!
+//! ```
+//! use prima_layout::{generate, CellConfig, DeviceSpec, PlacementPattern, PrimitiveSpec};
+//! use prima_pdk::Technology;
+//! use prima_spice::devices::FetPolarity;
+//!
+//! let tech = Technology::finfet7();
+//! let dp = PrimitiveSpec::new(
+//!     "dp",
+//!     vec![
+//!         DeviceSpec::new("MA", FetPolarity::Nmos, "da", "ga", "s"),
+//!         DeviceSpec::new("MB", FetPolarity::Nmos, "db", "gb", "s"),
+//!     ],
+//! );
+//! let cfg = CellConfig::new(8, 20, 6, PlacementPattern::Abba);
+//! let layout = generate(&tech, &dp, &cfg).unwrap();
+//! assert!(layout.aspect_ratio() > 0.0);
+//! let s = layout.net_parasitics("s").unwrap();
+//! assert!(s.r_ohm > 0.0 && s.c_total_f > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+
+mod cell;
+mod extract;
+pub mod render;
+
+pub use cell::{
+    generate, CellConfig, DeviceGeometry, DeviceSpec, LayoutError, PlacementPattern,
+    PrimitiveLayout, PrimitiveSpec,
+};
+pub use extract::NetParasitics;
+pub use render::{render, CellGeometry, MaskLayer};

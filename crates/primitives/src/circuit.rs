@@ -1,0 +1,333 @@
+//! Builds simulator circuits for primitive testbenches: devices (schematic
+//! or extracted layout), per-net parasitic π models, and external port
+//! wiring for the port-optimization step.
+
+use std::collections::HashMap;
+
+use prima_layout::PrimitiveLayout;
+use prima_pdk::Technology;
+use prima_spice::devices::{FetInstance, FetPolarity};
+use prima_spice::netlist::{Circuit, NodeId};
+
+use crate::library::PrimitiveDef;
+use crate::testbench::EvalError;
+
+/// How the primitive is realized for evaluation.
+#[derive(Debug, Clone, Copy)]
+pub enum LayoutView<'a> {
+    /// Ideal schematic: no parasitics, no LDEs — the `x_sch` reference.
+    /// `total_fins` is the `nfin·nf·m` product that fixes device width.
+    Schematic {
+        /// Total fins of the unit device.
+        total_fins: u64,
+    },
+    /// A generated layout with extracted parasitics and LDE shifts.
+    Layout(&'a PrimitiveLayout),
+}
+
+/// Wiring attached outside a primitive port (from global routes).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ExternalWire {
+    /// Series resistance (Ω) from the port to the far end.
+    pub r_ohm: f64,
+    /// Total wire capacitance (F), split π-style.
+    pub c_f: f64,
+}
+
+/// A built testbench scaffold: the circuit plus node handles.
+#[derive(Debug, Clone)]
+pub(crate) struct Scaffold {
+    /// The circuit under construction (testbenches add sources to it).
+    pub circuit: Circuit,
+    /// Attachment point per port net: the far end of the external wire when
+    /// one exists, otherwise the port itself.
+    pub far: HashMap<String, NodeId>,
+    /// The port node per net (cell boundary).
+    pub port: HashMap<String, NodeId>,
+    /// The PMOS bulk / supply node (`vdd!`); testbenches drive it.
+    pub vdd_node: NodeId,
+}
+
+impl Scaffold {
+    /// Attachment node for a port net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the net is not a port of the primitive (a template/testbench
+    /// mismatch, which is a bug, not an input error).
+    pub fn at(&self, net: &str) -> NodeId {
+        *self
+            .far
+            .get(net)
+            .unwrap_or_else(|| panic!("net {net} is not a primitive port"))
+    }
+}
+
+/// Renders a primitive (schematic or extracted layout) as a standalone
+/// subcircuit whose node names are the primitive's port nets plus the
+/// PMOS-bulk rail `vdd!` — ready for [`prima_spice::netlist::Circuit::instantiate`]
+/// into a larger circuit.
+///
+/// # Errors
+///
+/// Same conditions as the internal scaffold builder: layout views of
+/// passive primitives are unsupported; netlist validation errors propagate.
+pub fn as_subcircuit(
+    tech: &Technology,
+    def: &PrimitiveDef,
+    view: LayoutView<'_>,
+) -> Result<Circuit, EvalError> {
+    let scaffold = build_scaffold(tech, def, view, &HashMap::new())?;
+    Ok(scaffold.circuit)
+}
+
+/// Builds the device-plus-parasitics scaffold for a primitive.
+///
+/// # Errors
+///
+/// Returns [`EvalError::Unsupported`] when a layout view is supplied for a
+/// passive primitive (passives are not FET tilings), and propagates netlist
+/// validation errors.
+pub(crate) fn build_scaffold(
+    tech: &Technology,
+    def: &PrimitiveDef,
+    view: LayoutView<'_>,
+    externals: &HashMap<String, ExternalWire>,
+) -> Result<Scaffold, EvalError> {
+    let mut c = Circuit::new();
+    let vdd_node = c.node("vdd!");
+
+    let mut port = HashMap::new();
+    let mut far = HashMap::new();
+    for net in &def.ports {
+        let pn = c.node(net);
+        port.insert(net.clone(), pn);
+    }
+
+    match view {
+        LayoutView::Schematic { total_fins } => {
+            for d in &def.spec.devices {
+                let w = tech.fin.weff_per_fin as f64 * 1e-9 * total_fins as f64 * d.ratio as f64;
+                let l = tech.fin.gate_length as f64 * 1e-9;
+                let dn = c.node(&d.drain);
+                let gn = c.node(&d.gate);
+                let sn = c.node(&d.source);
+                let bulk = match d.polarity {
+                    FetPolarity::Nmos => Circuit::GROUND,
+                    FetPolarity::Pmos => vdd_node,
+                };
+                let fet = FetInstance::new(
+                    &d.name,
+                    dn,
+                    gn,
+                    sn,
+                    bulk,
+                    tech.model(d.polarity).clone(),
+                    w,
+                    l,
+                );
+                c.fet(fet).map_err(EvalError::Spice)?;
+            }
+        }
+        LayoutView::Layout(layout) => {
+            if def.spec.devices.is_empty() {
+                return Err(EvalError::Unsupported {
+                    reason: format!("primitive {} is passive; it has no FET layout", def.name),
+                });
+            }
+            // Mesh model per net: each device terminal reaches the net hub
+            // `{net}#i` through its own access resistor, and the hub reaches
+            // the cell port through the common trunk resistance. The access
+            // part is what source-degenerates a differential pair even
+            // though the hub is a virtual ground differentially.
+            // Nodes whose resistance is electrically negligible (< 2 Ω —
+            // sub-0.1% against any device impedance here) are collapsed to
+            // keep the MNA dimension down; transient cost grows cubically
+            // with the unknown count.
+            const R_COLLAPSE: f64 = 2.0;
+            let mut internal: HashMap<String, (NodeId, f64)> = HashMap::new();
+            for net in def.spec.nets() {
+                let Ok(par) = layout.net_parasitics(&net) else {
+                    continue;
+                };
+                let p_node = c.node(&net);
+                let (hub, total_c_at_hub) = if par.r_ohm < R_COLLAPSE {
+                    (p_node, par.c_total_f)
+                } else {
+                    let i_node = c.node(&format!("{net}#i"));
+                    c.resistor(&format!("Rnet_{net}"), i_node, p_node, par.r_ohm)
+                        .map_err(EvalError::Spice)?;
+                    let half = par.c_total_f / 2.0;
+                    if half > 0.0 {
+                        c.capacitor(&format!("Cnetp_{net}"), p_node, Circuit::GROUND, half)
+                            .map_err(EvalError::Spice)?;
+                    }
+                    (i_node, par.c_total_f / 2.0)
+                };
+                if total_c_at_hub > 0.0 {
+                    c.capacitor(
+                        &format!("Cneti_{net}"),
+                        hub,
+                        Circuit::GROUND,
+                        total_c_at_hub,
+                    )
+                    .map_err(EvalError::Spice)?;
+                }
+                let access = if par.r_access_ohm < R_COLLAPSE {
+                    0.0
+                } else {
+                    par.r_access_ohm
+                };
+                internal.insert(net.clone(), (hub, access));
+            }
+            for (d, geo) in def.spec.devices.iter().zip(layout.devices.iter()) {
+                debug_assert_eq!(d.name, geo.name, "spec/layout device order mismatch");
+                let attach = |c: &mut Circuit, net: &str, term: &str| match internal.get(net) {
+                    Some(&(hub, r_access)) => {
+                        // Gate terminals carry no DC current and their RC
+                        // pole sits orders of magnitude above any signal
+                        // here, so a much larger access resistance can be
+                        // folded away without electrical consequence.
+                        let threshold = if term == "g" { 50.0 } else { 0.0 };
+                        if r_access <= threshold {
+                            return hub;
+                        }
+                        let t_node = c.node(&format!("{net}#{}.{term}", d.name));
+                        c.resistor(&format!("Racc_{}_{term}", d.name), t_node, hub, r_access)
+                            .expect("access resistance is positive");
+                        t_node
+                    }
+                    None => c.node(net),
+                };
+                let dn = attach(&mut c, &d.drain, "d");
+                let gn = attach(&mut c, &d.gate, "g");
+                let sn = attach(&mut c, &d.source, "s");
+                let bulk = match d.polarity {
+                    FetPolarity::Nmos => Circuit::GROUND,
+                    FetPolarity::Pmos => vdd_node,
+                };
+                let mut fet = FetInstance::new(
+                    &d.name,
+                    dn,
+                    gn,
+                    sn,
+                    bulk,
+                    tech.model(d.polarity).clone(),
+                    geo.w_m,
+                    geo.l_m,
+                );
+                fet.delta_vth = geo.delta_vth;
+                fet.mobility_scale = geo.mobility_scale;
+                c.fet(fet).map_err(EvalError::Spice)?;
+            }
+        }
+    }
+
+    // External port wiring (global-route RC), then far-node resolution.
+    for net in &def.ports {
+        let pn = port[net];
+        if let Some(w) = externals.get(net) {
+            let xn = c.node(&format!("{net}#x"));
+            c.resistor(&format!("Rext_{net}"), pn, xn, w.r_ohm.max(1e-3))
+                .map_err(EvalError::Spice)?;
+            let half = w.c_f / 2.0;
+            if half > 0.0 {
+                c.capacitor(&format!("Cextp_{net}"), pn, Circuit::GROUND, half)
+                    .map_err(EvalError::Spice)?;
+                c.capacitor(&format!("Cextx_{net}"), xn, Circuit::GROUND, half)
+                    .map_err(EvalError::Spice)?;
+            }
+            far.insert(net.clone(), xn);
+        } else {
+            far.insert(net.clone(), pn);
+        }
+    }
+
+    Ok(Scaffold {
+        circuit: c,
+        far,
+        port,
+        vdd_node,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library::Library;
+    use prima_layout::{generate, CellConfig, PlacementPattern};
+
+    #[test]
+    fn schematic_scaffold_has_no_parasitics() {
+        let tech = Technology::finfet7();
+        let lib = Library::standard();
+        let dp = lib.get("dp").unwrap();
+        let s = build_scaffold(
+            &tech,
+            dp,
+            LayoutView::Schematic { total_fins: 960 },
+            &HashMap::new(),
+        )
+        .unwrap();
+        // Only the two FETs; no resistors or capacitors.
+        assert_eq!(s.circuit.elements().len(), 2);
+        assert_eq!(s.at("da"), s.port["da"]);
+    }
+
+    #[test]
+    fn layout_scaffold_adds_pi_networks() {
+        let tech = Technology::finfet7();
+        let lib = Library::standard();
+        let dp = lib.get("dp").unwrap();
+        let layout = generate(
+            &tech,
+            &dp.spec,
+            &CellConfig::new(8, 20, 6, PlacementPattern::Abba),
+        )
+        .unwrap();
+        let s = build_scaffold(&tech, dp, LayoutView::Layout(&layout), &HashMap::new()).unwrap();
+        let n_res = s
+            .circuit
+            .elements()
+            .iter()
+            .filter(|e| matches!(e, prima_spice::netlist::Element::Resistor { .. }))
+            .count();
+        assert!(n_res >= 5, "one series R per net, got {n_res}");
+    }
+
+    #[test]
+    fn external_wire_moves_far_node() {
+        let tech = Technology::finfet7();
+        let lib = Library::standard();
+        let dp = lib.get("dp").unwrap();
+        let mut ext = HashMap::new();
+        ext.insert(
+            "da".to_string(),
+            ExternalWire {
+                r_ohm: 100.0,
+                c_f: 1e-15,
+            },
+        );
+        let s = build_scaffold(&tech, dp, LayoutView::Schematic { total_fins: 96 }, &ext).unwrap();
+        assert_ne!(s.at("da"), s.port["da"]);
+        assert_eq!(s.at("db"), s.port["db"]);
+    }
+
+    #[test]
+    fn passive_layout_view_is_unsupported() {
+        let tech = Technology::finfet7();
+        let lib = Library::standard();
+        let cap = lib.get("cap_mom").unwrap();
+        let dp = lib.get("dp").unwrap();
+        let layout = generate(
+            &tech,
+            &dp.spec,
+            &CellConfig::new(4, 4, 1, PlacementPattern::Abba),
+        )
+        .unwrap();
+        assert!(matches!(
+            build_scaffold(&tech, cap, LayoutView::Layout(&layout), &HashMap::new()),
+            Err(EvalError::Unsupported { .. })
+        ));
+    }
+}

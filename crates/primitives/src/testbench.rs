@@ -1,0 +1,1491 @@
+//! Per-class SPICE testbenches (Fig. 4 style) that measure primitive
+//! performance metrics by actual circuit simulation.
+//!
+//! Every metric is one self-contained simulation setup: biases and
+//! excitations at the primitive's (far) ports, a measurement, and nothing
+//! else — exactly the "cheap SPICE simulations on small structures" the
+//! paper relies on instead of analytic equations.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use prima_pdk::Technology;
+use prima_spice::analysis::ac::{AcSolver, FrequencySweep};
+use prima_spice::analysis::dc::DcSolver;
+use prima_spice::analysis::tran::TranSolver;
+use prima_spice::analysis::AnalysisError;
+use prima_spice::devices::FetPolarity;
+use prima_spice::measure::{self, Edge};
+use prima_spice::netlist::{Circuit, SpiceError, Waveform};
+use prima_spice::num::Complex;
+
+use crate::bias::Bias;
+use crate::circuit::{build_scaffold, ExternalWire, LayoutView, Scaffold};
+use crate::library::{PrimitiveClass, PrimitiveDef};
+use crate::metrics::{Metric, MetricKind, MetricValues};
+
+/// Frequency at which transconductances and resistances are measured (low
+/// enough that capacitances do not intrude).
+const F_GM: f64 = 1e6;
+/// Frequency at which capacitances are measured.
+const F_CAP: f64 = 1e9;
+/// Frequency at which the differential-pair Gm is measured: the pair's
+/// circuit context is a multi-GHz amplifier/comparator, so the delivered
+/// signal current is evaluated where the wire RC actually bites.
+const F_GM_DP: f64 = 5e9;
+
+/// Errors from primitive evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvalError {
+    /// Netlist construction failed.
+    Spice(SpiceError),
+    /// The simulator did not converge / the system was singular.
+    Analysis(AnalysisError),
+    /// The metric is not defined for this primitive class, or the view is
+    /// invalid (e.g. FET layout for a passive).
+    Unsupported {
+        /// Description of the mismatch.
+        reason: String,
+    },
+    /// The measurement could not be extracted from the simulation result.
+    MeasurementFailed {
+        /// What failed (e.g. "no unity crossing").
+        what: String,
+    },
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::Spice(e) => write!(f, "netlist error: {e}"),
+            EvalError::Analysis(e) => write!(f, "analysis error: {e}"),
+            EvalError::Unsupported { reason } => write!(f, "unsupported: {reason}"),
+            EvalError::MeasurementFailed { what } => write!(f, "measurement failed: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+impl From<AnalysisError> for EvalError {
+    fn from(e: AnalysisError) -> Self {
+        EvalError::Analysis(e)
+    }
+}
+
+impl From<SpiceError> for EvalError {
+    fn from(e: SpiceError) -> Self {
+        EvalError::Spice(e)
+    }
+}
+
+/// Evaluates every metric of a primitive; returns name → value.
+///
+/// # Errors
+///
+/// Propagates the first metric evaluation failure.
+pub fn evaluate_all(
+    tech: &Technology,
+    def: &PrimitiveDef,
+    view: LayoutView<'_>,
+    bias: &Bias,
+    externals: &HashMap<String, ExternalWire>,
+) -> Result<MetricValues, EvalError> {
+    let mut out = MetricValues::new();
+    for m in &def.metrics {
+        let v = evaluate_metric(tech, def, m, view, bias, externals)?;
+        out.insert(m.name.clone(), v);
+    }
+    Ok(out)
+}
+
+/// Evaluates one metric of a primitive through its testbench.
+///
+/// # Errors
+///
+/// Returns [`EvalError::Unsupported`] for metric/class mismatches and
+/// propagates simulator failures.
+pub fn evaluate_metric(
+    tech: &Technology,
+    def: &PrimitiveDef,
+    metric: &Metric,
+    view: LayoutView<'_>,
+    bias: &Bias,
+    externals: &HashMap<String, ExternalWire>,
+) -> Result<f64, EvalError> {
+    match &def.class {
+        PrimitiveClass::DifferentialPair => dp_metric(tech, def, metric, view, bias, externals),
+        PrimitiveClass::CurrentMirror { ratio } => {
+            mirror_metric(tech, def, metric, view, bias, externals, *ratio)
+        }
+        PrimitiveClass::CurrentSource => csrc_metric(tech, def, metric, view, bias, externals),
+        PrimitiveClass::Amplifier => amp_metric(tech, def, metric, view, bias, externals),
+        PrimitiveClass::Load => load_metric(tech, def, metric, view, bias, externals),
+        PrimitiveClass::Switch => switch_metric(tech, def, metric, view, bias, externals),
+        PrimitiveClass::CrossCoupled => ccpair_metric(tech, def, metric, view, bias, externals),
+        PrimitiveClass::CurrentStarvedInverter => {
+            csi_metric(tech, def, metric, view, bias, externals)
+        }
+        PrimitiveClass::PassiveCap { design_f } => {
+            passive_cap_metric(metric, view, externals, *design_f)
+        }
+        PrimitiveClass::PassiveRes { design_ohm } => {
+            passive_res_metric(metric, view, externals, *design_ohm)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared helpers
+// ---------------------------------------------------------------------------
+
+/// Drives the PMOS-bulk/supply node; every testbench calls this first.
+fn drive_supply(s: &mut Scaffold, vdd: f64) {
+    let node = s.vdd_node;
+    s.circuit.vsource("VBULKP", node, Circuit::GROUND, vdd);
+}
+
+/// Grounds a port (0 V source so its current remains measurable).
+fn ground_port(s: &mut Scaffold, net: &str) {
+    let n = s.at(net);
+    s.circuit
+        .vsource(&format!("VGND_{net}"), n, Circuit::GROUND, 0.0);
+}
+
+/// Adds the bias load capacitance at a port's far node, if any.
+fn add_load(s: &mut Scaffold, bias: &Bias, net: &str) {
+    let c = bias.load(net);
+    if c > 0.0 {
+        let n = s.at(net);
+        s.circuit
+            .capacitor(&format!("CL_{net}"), n, Circuit::GROUND, c)
+            .expect("load cap is validated by Bias setters");
+    }
+}
+
+/// Complex admittance seen by the voltage source `drive` (which must carry
+/// `ac_mag = 1`) at frequency `f`.
+fn admittance(circuit: &Circuit, drive: &str, f: f64) -> Result<Complex, EvalError> {
+    let res = AcSolver::new().solve(circuit, &FrequencySweep::List(vec![f]))?;
+    let branch = res
+        .branch_phasor(drive, 0)
+        .ok_or(EvalError::MeasurementFailed {
+            what: format!("no branch current for {drive}"),
+        })?;
+    // Branch current flows out of the + node through the source, so the
+    // current delivered into the network is its negation.
+    Ok(-branch)
+}
+
+/// First device polarity of a primitive (its "driving" flavor).
+fn polarity(def: &PrimitiveDef) -> FetPolarity {
+    def.spec
+        .devices
+        .first()
+        .map(|d| d.polarity)
+        .unwrap_or(FetPolarity::Nmos)
+}
+
+// ---------------------------------------------------------------------------
+// Differential pair
+// ---------------------------------------------------------------------------
+
+/// Builds the DP bias scaffold shared by the Gm / C / offset testbenches.
+/// `din` is the differential input offset added at the gates.
+#[allow(clippy::too_many_arguments)]
+fn dp_scaffold(
+    tech: &Technology,
+    def: &PrimitiveDef,
+    view: LayoutView<'_>,
+    bias: &Bias,
+    externals: &HashMap<String, ExternalWire>,
+    din: f64,
+    ac_inputs: bool,
+    ac_drain: bool,
+) -> Result<Scaffold, EvalError> {
+    let mut s = build_scaffold(tech, def, view, externals)?;
+    let vdd = bias.vdd;
+    let pol = polarity(def);
+    let (vcm_def, vd_def, vcas_def) = match pol {
+        FetPolarity::Nmos => (0.55 * vdd, 0.65 * vdd, 0.80 * vdd),
+        FetPolarity::Pmos => (0.45 * vdd, 0.35 * vdd, 0.20 * vdd),
+    };
+    let vcm = bias.v("cm_in", vcm_def);
+    let vd = bias.v("vd", vd_def);
+    drive_supply(&mut s, vdd);
+
+    let (ga, gb, da, db) = (s.at("ga"), s.at("gb"), s.at("da"), s.at("db"));
+    let (in_ac_a, in_ac_b) = if ac_inputs { (0.5, -0.5) } else { (0.0, 0.0) };
+    s.circuit
+        .vsource_ac("VGA", ga, Circuit::GROUND, vcm + din / 2.0, in_ac_a);
+    s.circuit
+        .vsource_ac("VGB", gb, Circuit::GROUND, vcm - din / 2.0, in_ac_b);
+    if ac_drain {
+        // Capacitance measurement: drive the drain directly.
+        s.circuit.vsource_ac("VDA", da, Circuit::GROUND, vd, 1.0);
+        s.circuit.vsource_ac("VDB", db, Circuit::GROUND, vd, 0.0);
+    } else {
+        // Gm/offset measurement: the drains drive the downstream load
+        // resistance (the 1/gm of a mirror's diode input) and the measured
+        // quantity is the current *delivered through* it — route and mesh
+        // resistance genuinely steal signal current here.
+        let rl = bias.drain_load_ohm.max(1e-3);
+        let mda = s.circuit.node("mda#l");
+        let mdb = s.circuit.node("mdb#l");
+        s.circuit
+            .resistor("RLA", da, mda, rl)
+            .expect("positive load resistance");
+        s.circuit
+            .resistor("RLB", db, mdb, rl)
+            .expect("positive load resistance");
+        s.circuit.vsource_ac("VDA", mda, Circuit::GROUND, vd, 0.0);
+        s.circuit.vsource_ac("VDB", mdb, Circuit::GROUND, vd, 0.0);
+    }
+    add_load(&mut s, bias, "da");
+    add_load(&mut s, bias, "db");
+
+    if def.ports.iter().any(|p| p == "s") {
+        let tail = bias.i("tail", 300e-6);
+        let sn = s.at("s");
+        match pol {
+            // NMOS tail sinks current from the sources to ground.
+            FetPolarity::Nmos => s.circuit.isource("ITAIL", sn, Circuit::GROUND, tail),
+            // PMOS tail feeds current into the sources.
+            FetPolarity::Pmos => s.circuit.isource("ITAIL", Circuit::GROUND, sn, tail),
+        }
+    }
+    if def.ports.iter().any(|p| p == "vcas") {
+        let v = bias.v("vcas", vcas_def);
+        let n = s.at("vcas");
+        s.circuit.vsource("VCAS", n, Circuit::GROUND, v);
+    }
+    if def.ports.iter().any(|p| p == "vss") {
+        ground_port(&mut s, "vss");
+    }
+    if def.ports.iter().any(|p| p == "clk") {
+        // Switched pair: at a rail-driven clock the DC point is deep
+        // triode and Gm is meaningless. Characterize at the *evaluation
+        // current* instead: bisect the tail-switch gate voltage until the
+        // pair carries the bias tail current — the clocked analogue of the
+        // designer's tail bias.
+        let n = s.at("clk");
+        s.circuit.vsource("VCLK", n, Circuit::GROUND, vdd);
+        let target = bias.i("tail", 300e-6);
+        let vclk_ix = s
+            .circuit
+            .elements()
+            .iter()
+            .position(|e| e.name() == "VCLK")
+            .expect("VCLK was just added");
+        let (mut lo, mut hi) = (0.15, vdd);
+        for _ in 0..18 {
+            let mid = 0.5 * (lo + hi);
+            if let Some(prima_spice::netlist::Element::VSource { wave, .. }) =
+                s.circuit.elements_mut().get_mut(vclk_ix)
+            {
+                *wave = Waveform::Dc(mid);
+            }
+            let i_total = match DcSolver::new().solve(&s.circuit) {
+                Ok(op) => {
+                    op.branch_current("VDA").unwrap_or(0.0).abs()
+                        + op.branch_current("VDB").unwrap_or(0.0).abs()
+                }
+                // Treat a non-converged midpoint as "too much current".
+                Err(_) => f64::INFINITY,
+            };
+            // NMOS switch: more gate voltage, more current.
+            let too_much = i_total > target;
+            let rising = matches!(pol, FetPolarity::Nmos);
+            if too_much == rising {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        let v_final = 0.5 * (lo + hi);
+        if let Some(prima_spice::netlist::Element::VSource { wave, .. }) =
+            s.circuit.elements_mut().get_mut(vclk_ix)
+        {
+            *wave = Waveform::Dc(v_final);
+        }
+    }
+    Ok(s)
+}
+
+/// Differential drain current (A) at DC for a given input offset.
+fn dp_diff_current(
+    tech: &Technology,
+    def: &PrimitiveDef,
+    view: LayoutView<'_>,
+    bias: &Bias,
+    externals: &HashMap<String, ExternalWire>,
+    din: f64,
+) -> Result<f64, EvalError> {
+    let s = dp_scaffold(tech, def, view, bias, externals, din, false, false)?;
+    let op = DcSolver::new().solve(&s.circuit)?;
+    let ia = op.branch_current("VDA").expect("VDA exists");
+    let ib = op.branch_current("VDB").expect("VDB exists");
+    Ok(ia - ib)
+}
+
+fn dp_metric(
+    tech: &Technology,
+    def: &PrimitiveDef,
+    metric: &Metric,
+    view: LayoutView<'_>,
+    bias: &Bias,
+    externals: &HashMap<String, ExternalWire>,
+) -> Result<f64, EvalError> {
+    match metric.kind {
+        MetricKind::Gm => {
+            let s = dp_scaffold(tech, def, view, bias, externals, 0.0, true, false)?;
+            let res = AcSolver::new().solve(&s.circuit, &FrequencySweep::List(vec![F_GM_DP]))?;
+            let ia = res.branch_phasor("VDA", 0).expect("VDA");
+            let ib = res.branch_phasor("VDB", 0).expect("VDB");
+            Ok((ia - ib).norm())
+        }
+        MetricKind::GmOverCtotal => {
+            let gm = dp_metric(
+                tech,
+                def,
+                &Metric::new("Gm", MetricKind::Gm, 0.0),
+                view,
+                bias,
+                externals,
+            )?;
+            let s = dp_scaffold(tech, def, view, bias, externals, 0.0, false, true)?;
+            let y = admittance(&s.circuit, "VDA", F_CAP)?;
+            let c = y.im / (2.0 * std::f64::consts::PI * F_CAP);
+            if c <= 0.0 {
+                return Err(EvalError::MeasurementFailed {
+                    what: format!("non-positive drain capacitance {c}"),
+                });
+            }
+            Ok(gm / c)
+        }
+        MetricKind::InputOffset => {
+            // Bisect the differential input until the drain currents match.
+            let f = |d: f64| dp_diff_current(tech, def, view, bias, externals, d);
+            let (mut lo, mut hi) = (-0.06f64, 0.06f64);
+            let (flo, fhi) = (f(lo)?, f(hi)?);
+            if flo == 0.0 {
+                return Ok(lo.abs());
+            }
+            if flo.signum() == fhi.signum() {
+                // Offset beyond the search range: report the boundary.
+                return Ok(hi);
+            }
+            for _ in 0..40 {
+                let mid = 0.5 * (lo + hi);
+                let fm = f(mid)?;
+                if fm == 0.0 {
+                    return Ok(mid.abs());
+                }
+                if fm.signum() == flo.signum() {
+                    lo = mid;
+                } else {
+                    hi = mid;
+                }
+            }
+            Ok((0.5 * (lo + hi)).abs())
+        }
+        other => Err(EvalError::Unsupported {
+            reason: format!("metric {other:?} on a differential pair"),
+        }),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Current mirrors / sources / loads
+// ---------------------------------------------------------------------------
+
+fn mirror_scaffold(
+    tech: &Technology,
+    def: &PrimitiveDef,
+    view: LayoutView<'_>,
+    bias: &Bias,
+    externals: &HashMap<String, ExternalWire>,
+    ac_out: bool,
+) -> Result<Scaffold, EvalError> {
+    let mut s = build_scaffold(tech, def, view, externals)?;
+    let vdd = bias.vdd;
+    drive_supply(&mut s, vdd);
+    let pol = polarity(def);
+    let iref = bias.i("ref", 100e-6);
+    let vout = bias.v(
+        "vout",
+        match pol {
+            FetPolarity::Nmos => 0.5 * vdd,
+            FetPolarity::Pmos => 0.5 * vdd,
+        },
+    );
+    let in_n = s.at("in");
+    match pol {
+        FetPolarity::Nmos => s.circuit.isource("IREF", Circuit::GROUND, in_n, iref),
+        FetPolarity::Pmos => s.circuit.isource("IREF", in_n, Circuit::GROUND, iref),
+    }
+    let out_n = s.at("out");
+    s.circuit
+        .vsource_ac("VOUT", out_n, Circuit::GROUND, vout, if ac_out { 1.0 } else { 0.0 });
+    if def.ports.iter().any(|p| p == "vss") {
+        ground_port(&mut s, "vss");
+    }
+    if def.ports.iter().any(|p| p == "vdd") {
+        let n = s.at("vdd");
+        s.circuit.vsource("VSUP", n, Circuit::GROUND, vdd);
+    }
+    Ok(s)
+}
+
+fn mirror_metric(
+    tech: &Technology,
+    def: &PrimitiveDef,
+    metric: &Metric,
+    view: LayoutView<'_>,
+    bias: &Bias,
+    externals: &HashMap<String, ExternalWire>,
+    _ratio: u32,
+) -> Result<f64, EvalError> {
+    match metric.kind {
+        MetricKind::OutputCurrent => {
+            let s = mirror_scaffold(tech, def, view, bias, externals, false)?;
+            let op = DcSolver::new().solve(&s.circuit)?;
+            Ok(op.branch_current("VOUT").expect("VOUT").abs())
+        }
+        MetricKind::Cout => {
+            let s = mirror_scaffold(tech, def, view, bias, externals, true)?;
+            let y = admittance(&s.circuit, "VOUT", F_CAP)?;
+            Ok(y.im / (2.0 * std::f64::consts::PI * F_CAP))
+        }
+        MetricKind::OutputResistance => {
+            let s = mirror_scaffold(tech, def, view, bias, externals, true)?;
+            let y = admittance(&s.circuit, "VOUT", F_GM)?;
+            if y.re <= 0.0 {
+                return Err(EvalError::MeasurementFailed {
+                    what: format!("non-positive output conductance {}", y.re),
+                });
+            }
+            Ok(1.0 / y.re)
+        }
+        other => Err(EvalError::Unsupported {
+            reason: format!("metric {other:?} on a current mirror"),
+        }),
+    }
+}
+
+fn csrc_scaffold(
+    tech: &Technology,
+    def: &PrimitiveDef,
+    view: LayoutView<'_>,
+    bias: &Bias,
+    externals: &HashMap<String, ExternalWire>,
+    ac_out: bool,
+) -> Result<Scaffold, EvalError> {
+    let mut s = build_scaffold(tech, def, view, externals)?;
+    let vdd = bias.vdd;
+    drive_supply(&mut s, vdd);
+    let pol = polarity(def);
+    let vb = bias.v(
+        "vb",
+        match pol {
+            FetPolarity::Nmos => 0.45 * vdd,
+            FetPolarity::Pmos => 0.55 * vdd,
+        },
+    );
+    let vout = bias.v("vout", 0.5 * vdd);
+    let vb_n = s.at("vb");
+    s.circuit.vsource("VB", vb_n, Circuit::GROUND, vb);
+    let out_n = s.at("out");
+    s.circuit
+        .vsource_ac("VOUT", out_n, Circuit::GROUND, vout, if ac_out { 1.0 } else { 0.0 });
+    if def.ports.iter().any(|p| p == "vss") {
+        ground_port(&mut s, "vss");
+    }
+    if def.ports.iter().any(|p| p == "vdd") {
+        let n = s.at("vdd");
+        s.circuit.vsource("VSUP", n, Circuit::GROUND, vdd);
+    }
+    Ok(s)
+}
+
+fn csrc_metric(
+    tech: &Technology,
+    def: &PrimitiveDef,
+    metric: &Metric,
+    view: LayoutView<'_>,
+    bias: &Bias,
+    externals: &HashMap<String, ExternalWire>,
+) -> Result<f64, EvalError> {
+    match metric.kind {
+        MetricKind::OutputCurrent => {
+            let s = csrc_scaffold(tech, def, view, bias, externals, false)?;
+            let op = DcSolver::new().solve(&s.circuit)?;
+            Ok(op.branch_current("VOUT").expect("VOUT").abs())
+        }
+        MetricKind::OutputResistance => {
+            let s = csrc_scaffold(tech, def, view, bias, externals, true)?;
+            let y = admittance(&s.circuit, "VOUT", F_GM)?;
+            if y.re <= 0.0 {
+                return Err(EvalError::MeasurementFailed {
+                    what: format!("non-positive output conductance {}", y.re),
+                });
+            }
+            Ok(1.0 / y.re)
+        }
+        MetricKind::Cout => {
+            let s = csrc_scaffold(tech, def, view, bias, externals, true)?;
+            let y = admittance(&s.circuit, "VOUT", F_CAP)?;
+            Ok(y.im / (2.0 * std::f64::consts::PI * F_CAP))
+        }
+        other => Err(EvalError::Unsupported {
+            reason: format!("metric {other:?} on a current source"),
+        }),
+    }
+}
+
+fn amp_metric(
+    tech: &Technology,
+    def: &PrimitiveDef,
+    metric: &Metric,
+    view: LayoutView<'_>,
+    bias: &Bias,
+    externals: &HashMap<String, ExternalWire>,
+) -> Result<f64, EvalError> {
+    let build = |ac_in: f64, ac_out: f64| -> Result<Scaffold, EvalError> {
+        let mut s = build_scaffold(tech, def, view, externals)?;
+        let vdd = bias.vdd;
+        drive_supply(&mut s, vdd);
+        let pol = polarity(def);
+        let vin = bias.v(
+            "vin",
+            match pol {
+                FetPolarity::Nmos => 0.5 * vdd,
+                FetPolarity::Pmos => 0.5 * vdd,
+            },
+        );
+        let vout = bias.v("vout", 0.55 * vdd);
+        let in_n = s.at("in");
+        s.circuit.vsource_ac("VIN", in_n, Circuit::GROUND, vin, ac_in);
+        let out_n = s.at("out");
+        s.circuit.vsource_ac("VOUT", out_n, Circuit::GROUND, vout, ac_out);
+        add_load(&mut s, bias, "out");
+        if def.ports.iter().any(|p| p == "vss") {
+            ground_port(&mut s, "vss");
+        }
+        if def.ports.iter().any(|p| p == "vdd") {
+            let n = s.at("vdd");
+            s.circuit.vsource("VSUP", n, Circuit::GROUND, vdd);
+        }
+        Ok(s)
+    };
+    match metric.kind {
+        MetricKind::Gm => {
+            let s = build(1.0, 0.0)?;
+            let res = AcSolver::new().solve(&s.circuit, &FrequencySweep::List(vec![F_GM]))?;
+            Ok(res.branch_phasor("VOUT", 0).expect("VOUT").norm())
+        }
+        MetricKind::OutputResistance => {
+            let s = build(0.0, 1.0)?;
+            let y = admittance(&s.circuit, "VOUT", F_GM)?;
+            if y.re <= 0.0 {
+                return Err(EvalError::MeasurementFailed {
+                    what: format!("non-positive output conductance {}", y.re),
+                });
+            }
+            Ok(1.0 / y.re)
+        }
+        MetricKind::Cout => {
+            let s = build(0.0, 1.0)?;
+            let y = admittance(&s.circuit, "VOUT", F_CAP)?;
+            Ok(y.im / (2.0 * std::f64::consts::PI * F_CAP))
+        }
+        other => Err(EvalError::Unsupported {
+            reason: format!("metric {other:?} on an amplifier stage"),
+        }),
+    }
+}
+
+fn load_metric(
+    tech: &Technology,
+    def: &PrimitiveDef,
+    metric: &Metric,
+    view: LayoutView<'_>,
+    bias: &Bias,
+    externals: &HashMap<String, ExternalWire>,
+) -> Result<f64, EvalError> {
+    let build = |ac: f64| -> Result<Scaffold, EvalError> {
+        let mut s = build_scaffold(tech, def, view, externals)?;
+        let vdd = bias.vdd;
+        drive_supply(&mut s, vdd);
+        let pol = polarity(def);
+        let iref = bias.i("ref", 100e-6);
+        let out_n = s.at("out");
+        match pol {
+            FetPolarity::Nmos => {
+                s.circuit
+                    .isource_wave("IBIAS", Circuit::GROUND, out_n, Waveform::Dc(iref), ac)
+            }
+            FetPolarity::Pmos => {
+                s.circuit
+                    .isource_wave("IBIAS", out_n, Circuit::GROUND, Waveform::Dc(iref), ac)
+            }
+        }
+        if def.ports.iter().any(|p| p == "vss") {
+            ground_port(&mut s, "vss");
+        }
+        if def.ports.iter().any(|p| p == "vdd") {
+            let n = s.at("vdd");
+            s.circuit.vsource("VSUP", n, Circuit::GROUND, vdd);
+        }
+        Ok(s)
+    };
+    let impedance = |f: f64| -> Result<Complex, EvalError> {
+        let s = build(1.0)?;
+        let res = AcSolver::new().solve(&s.circuit, &FrequencySweep::List(vec![f]))?;
+        let out_n = s.at("out");
+        Ok(res.phasor(out_n, 0))
+    };
+    match metric.kind {
+        MetricKind::OutputResistance => {
+            let z = impedance(F_GM)?;
+            Ok(z.re.abs())
+        }
+        MetricKind::Cout => {
+            let z = impedance(F_CAP)?;
+            let y = z.recip();
+            Ok(y.im.abs() / (2.0 * std::f64::consts::PI * F_CAP))
+        }
+        other => Err(EvalError::Unsupported {
+            reason: format!("metric {other:?} on a load"),
+        }),
+    }
+}
+
+fn switch_metric(
+    tech: &Technology,
+    def: &PrimitiveDef,
+    metric: &Metric,
+    view: LayoutView<'_>,
+    bias: &Bias,
+    externals: &HashMap<String, ExternalWire>,
+) -> Result<f64, EvalError> {
+    let build = |ac_b: f64| -> Result<Scaffold, EvalError> {
+        let mut s = build_scaffold(tech, def, view, externals)?;
+        let vdd = bias.vdd;
+        drive_supply(&mut s, vdd);
+        let pol = polarity(def);
+        let von = bias.v(
+            "von",
+            match pol {
+                FetPolarity::Nmos => vdd,
+                FetPolarity::Pmos => 0.0,
+            },
+        );
+        let vsig = bias.v("vsig", 0.4 * vdd);
+        let en = s.at("en");
+        s.circuit.vsource("VEN", en, Circuit::GROUND, von);
+        let a = s.at("a");
+        s.circuit.vsource("VA", a, Circuit::GROUND, vsig);
+        let b = s.at("b");
+        // Pull a small test current out of b; Ron = Δv / i.
+        s.circuit.isource("ITEST", b, Circuit::GROUND, 10e-6);
+        if ac_b > 0.0 {
+            s.circuit
+                .isource_wave("IAC", Circuit::GROUND, b, Waveform::Dc(0.0), ac_b);
+        }
+        Ok(s)
+    };
+    match metric.kind {
+        MetricKind::OnResistance => {
+            let s = build(0.0)?;
+            let op = DcSolver::new().solve(&s.circuit)?;
+            let vsig = bias.v("vsig", 0.4 * bias.vdd);
+            let vb = op.voltage(s.at("b"));
+            Ok((vsig - vb).abs() / 10e-6)
+        }
+        MetricKind::Cout => {
+            let s = build(1.0)?;
+            let res = AcSolver::new().solve(&s.circuit, &FrequencySweep::List(vec![F_CAP]))?;
+            let z = res.phasor(s.at("b"), 0);
+            let y = z.recip();
+            Ok(y.im.abs() / (2.0 * std::f64::consts::PI * F_CAP))
+        }
+        other => Err(EvalError::Unsupported {
+            reason: format!("metric {other:?} on a switch"),
+        }),
+    }
+}
+
+fn ccpair_metric(
+    tech: &Technology,
+    def: &PrimitiveDef,
+    metric: &Metric,
+    view: LayoutView<'_>,
+    bias: &Bias,
+    externals: &HashMap<String, ExternalWire>,
+) -> Result<f64, EvalError> {
+    let build = |ac_p: f64, ac_n: f64| -> Result<Scaffold, EvalError> {
+        let mut s = build_scaffold(tech, def, view, externals)?;
+        let vdd = bias.vdd;
+        drive_supply(&mut s, vdd);
+        let vd = bias.v("vd", 0.6 * vdd);
+        let outp = s.at("outp");
+        s.circuit.vsource_ac("VOP", outp, Circuit::GROUND, vd, ac_p);
+        let outn = s.at("outn");
+        s.circuit.vsource_ac("VON", outn, Circuit::GROUND, vd, ac_n);
+        add_load(&mut s, bias, "outp");
+        add_load(&mut s, bias, "outn");
+        if def.ports.iter().any(|p| p == "s") {
+            let tail = bias.i("tail", 200e-6);
+            let sn = s.at("s");
+            s.circuit.isource("ITAIL", sn, Circuit::GROUND, tail);
+        }
+        // Split-source latches ground their NMOS sources directly.
+        for port in ["sa", "sb"] {
+            if def.ports.iter().any(|p| p == port) {
+                ground_port(&mut s, port);
+            }
+        }
+        // Starved latches take their control rails as inputs.
+        if def.ports.iter().any(|p| p == "vbn") {
+            let v = bias.v("vbn", 0.55 * vdd);
+            let n = s.at("vbn");
+            s.circuit.vsource("VBN", n, Circuit::GROUND, v);
+        }
+        if def.ports.iter().any(|p| p == "vbp") {
+            let v = bias.v("vbp", 0.45 * vdd);
+            let n = s.at("vbp");
+            s.circuit.vsource("VBP", n, Circuit::GROUND, v);
+        }
+        if def.ports.iter().any(|p| p == "vss") {
+            ground_port(&mut s, "vss");
+        }
+        if def.ports.iter().any(|p| p == "vdd") {
+            let n = s.at("vdd");
+            s.circuit.vsource("VSUP", n, Circuit::GROUND, vdd);
+        }
+        Ok(s)
+    };
+    match metric.kind {
+        MetricKind::Gm => {
+            // Differential drive; the cross-coupled pair responds with a
+            // negative differential conductance whose magnitude is gm.
+            let s = build(0.5, -0.5)?;
+            let res = AcSolver::new().solve(&s.circuit, &FrequencySweep::List(vec![F_GM]))?;
+            let ip = res.branch_phasor("VOP", 0).expect("VOP");
+            let in_ = res.branch_phasor("VON", 0).expect("VON");
+            Ok((ip - in_).norm())
+        }
+        MetricKind::Cout => {
+            let s = build(1.0, 0.0)?;
+            let y = admittance(&s.circuit, "VOP", F_CAP)?;
+            Ok(y.im.abs() / (2.0 * std::f64::consts::PI * F_CAP))
+        }
+        MetricKind::GmOverCtotal => {
+            // Regeneration figure of merit: gm over output capacitance.
+            let gm = ccpair_metric(
+                tech,
+                def,
+                &Metric::new("Gm", MetricKind::Gm, 0.0),
+                view,
+                bias,
+                externals,
+            )?;
+            let c = ccpair_metric(
+                tech,
+                def,
+                &Metric::new("Cout", MetricKind::Cout, 0.0),
+                view,
+                bias,
+                externals,
+            )?;
+            if c <= 0.0 {
+                return Err(EvalError::MeasurementFailed {
+                    what: format!("non-positive latch output capacitance {c}"),
+                });
+            }
+            Ok(gm / c)
+        }
+        other => Err(EvalError::Unsupported {
+            reason: format!("metric {other:?} on a cross-coupled pair"),
+        }),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Current-starved inverter
+// ---------------------------------------------------------------------------
+
+fn csi_scaffold(
+    tech: &Technology,
+    def: &PrimitiveDef,
+    view: LayoutView<'_>,
+    bias: &Bias,
+    externals: &HashMap<String, ExternalWire>,
+    in_wave: Waveform,
+) -> Result<Scaffold, EvalError> {
+    let mut s = build_scaffold(tech, def, view, externals)?;
+    let vdd = bias.vdd;
+    drive_supply(&mut s, vdd);
+    let vbn = bias.v("vbn", 0.55 * vdd);
+    let vbp = bias.v("vbp", 0.45 * vdd);
+    let n = s.at("vbn");
+    s.circuit.vsource("VBN", n, Circuit::GROUND, vbn);
+    let n = s.at("vbp");
+    s.circuit.vsource("VBP", n, Circuit::GROUND, vbp);
+    let n = s.at("vdd");
+    s.circuit.vsource("VSUP", n, Circuit::GROUND, vdd);
+    ground_port(&mut s, "vss");
+    let in_n = s.at("in");
+    s.circuit.vsource_wave("VIN", in_n, Circuit::GROUND, in_wave, 0.0);
+    add_load(&mut s, bias, "out");
+    Ok(s)
+}
+
+fn csi_metric(
+    tech: &Technology,
+    def: &PrimitiveDef,
+    metric: &Metric,
+    view: LayoutView<'_>,
+    bias: &Bias,
+    externals: &HashMap<String, ExternalWire>,
+) -> Result<f64, EvalError> {
+    let vdd = bias.vdd;
+    match metric.kind {
+        MetricKind::Delay | MetricKind::OutputCurrent => {
+            let pulse = Waveform::Pulse {
+                v1: 0.0,
+                v2: vdd,
+                delay: 0.15e-9,
+                rise: 20e-12,
+                fall: 20e-12,
+                width: 0.6e-9,
+                period: f64::INFINITY,
+            };
+            let s = csi_scaffold(tech, def, view, bias, externals, pulse)?;
+            let res = TranSolver::new(1.5e-12, 1.5e-9).solve(&s.circuit)?;
+            let t = res.times().to_vec();
+            let vin = res.voltage(s.port["in"]);
+            let vout = res.voltage(s.port["out"]);
+            match metric.kind {
+                MetricKind::Delay => {
+                    let half = vdd / 2.0;
+                    let d_hl = measure::delay(
+                        &t, &vin, half, Edge::Rising, 1, &vout, half, Edge::Falling,
+                    )
+                    .ok_or(EvalError::MeasurementFailed {
+                        what: "no output fall".to_string(),
+                    })?;
+                    let d_lh = measure::delay(
+                        &t, &vin, half, Edge::Falling, 1, &vout, half, Edge::Rising,
+                    )
+                    .ok_or(EvalError::MeasurementFailed {
+                        what: "no output rise".to_string(),
+                    })?;
+                    Ok(0.5 * (d_hl + d_lh))
+                }
+                MetricKind::OutputCurrent => {
+                    let i = res
+                        .branch_current("VSUP")
+                        .ok_or(EvalError::MeasurementFailed {
+                            what: "no supply branch".to_string(),
+                        })?;
+                    let i_abs: Vec<f64> = i.iter().map(|x| x.abs()).collect();
+                    Ok(measure::average(&t, &i_abs, 0.15e-9, 1.45e-9))
+                }
+                _ => unreachable!(),
+            }
+        }
+        MetricKind::Gain => {
+            // Find the trip point, then measure the DC slope around it.
+            let out_at = |vin: f64| -> Result<f64, EvalError> {
+                let s = csi_scaffold(tech, def, view, bias, externals, Waveform::Dc(vin))?;
+                let op = DcSolver::new().solve(&s.circuit)?;
+                Ok(op.voltage(s.port["out"]))
+            };
+            let (mut lo, mut hi) = (0.0f64, vdd);
+            for _ in 0..30 {
+                let mid = 0.5 * (lo + hi);
+                if out_at(mid)? > vdd / 2.0 {
+                    lo = mid;
+                } else {
+                    hi = mid;
+                }
+            }
+            let trip = 0.5 * (lo + hi);
+            let dv = 2e-3;
+            let g = (out_at(trip + dv)? - out_at(trip - dv)?).abs() / (2.0 * dv);
+            Ok(g)
+        }
+        other => Err(EvalError::Unsupported {
+            reason: format!("metric {other:?} on a current-starved inverter"),
+        }),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Passives
+// ---------------------------------------------------------------------------
+
+/// Intrinsic series resistance assumed for the schematic reference of a MOM
+/// capacitor (plate resistance).
+const CAP_INTRINSIC_R: f64 = 5.0;
+
+fn passive_cap_metric(
+    metric: &Metric,
+    view: LayoutView<'_>,
+    externals: &HashMap<String, ExternalWire>,
+    design_f: f64,
+) -> Result<f64, EvalError> {
+    if matches!(view, LayoutView::Layout(_)) {
+        return Err(EvalError::Unsupported {
+            reason: "passive capacitors are not FET tilings; evaluate schematic + externals"
+                .to_string(),
+        });
+    }
+    let mut c = Circuit::new();
+    let a = c.node("a");
+    let plate = c.node("plate");
+    let b = c.node("b");
+    let ra = externals.get("a").map(|w| w.r_ohm).unwrap_or(0.0) + CAP_INTRINSIC_R;
+    let rb = externals.get("b").map(|w| w.r_ohm).unwrap_or(0.0);
+    let cext: f64 = externals.values().map(|w| w.c_f).sum();
+    c.vsource_ac("VDRV", a, Circuit::GROUND, 0.0, 1.0);
+    c.resistor("RA", a, plate, ra.max(1e-3)).map_err(EvalError::Spice)?;
+    c.capacitor("CMAIN", plate, b, design_f).map_err(EvalError::Spice)?;
+    if cext > 0.0 {
+        c.capacitor("CEXT", plate, Circuit::GROUND, cext)
+            .map_err(EvalError::Spice)?;
+    }
+    c.resistor("RB", b, Circuit::GROUND, rb.max(1e-3))
+        .map_err(EvalError::Spice)?;
+    match metric.kind {
+        MetricKind::Capacitance => {
+            let y = admittance(&c, "VDRV", F_GM)?;
+            Ok(y.im / (2.0 * std::f64::consts::PI * F_GM))
+        }
+        MetricKind::Bandwidth => {
+            let y = admittance(&c, "VDRV", F_GM)?;
+            let ceff = y.im / (2.0 * std::f64::consts::PI * F_GM);
+            let rtot = ra + rb.max(1e-3);
+            Ok(1.0 / (2.0 * std::f64::consts::PI * rtot * ceff.max(1e-21)))
+        }
+        other => Err(EvalError::Unsupported {
+            reason: format!("metric {other:?} on a capacitor"),
+        }),
+    }
+}
+
+fn passive_res_metric(
+    metric: &Metric,
+    view: LayoutView<'_>,
+    externals: &HashMap<String, ExternalWire>,
+    design_ohm: f64,
+) -> Result<f64, EvalError> {
+    if matches!(view, LayoutView::Layout(_)) {
+        return Err(EvalError::Unsupported {
+            reason: "passive resistors are not FET tilings; evaluate schematic + externals"
+                .to_string(),
+        });
+    }
+    let mut c = Circuit::new();
+    let a = c.node("a");
+    let mid = c.node("mid");
+    let ra = externals.get("a").map(|w| w.r_ohm).unwrap_or(0.0);
+    let rb = externals.get("b").map(|w| w.r_ohm).unwrap_or(0.0);
+    let cext: f64 = externals.values().map(|w| w.c_f).sum();
+    c.vsource_ac("VDRV", a, Circuit::GROUND, 1.0, 1.0);
+    c.resistor("RMAIN", a, mid, (design_ohm + ra).max(1e-3))
+        .map_err(EvalError::Spice)?;
+    c.resistor("RB", mid, Circuit::GROUND, rb.max(1e-3))
+        .map_err(EvalError::Spice)?;
+    if cext > 0.0 {
+        c.capacitor("CEXT", mid, Circuit::GROUND, cext)
+            .map_err(EvalError::Spice)?;
+    }
+    match metric.kind {
+        MetricKind::Resistance => {
+            let op = DcSolver::new().solve(&c)?;
+            let i = op.branch_current("VDRV").expect("VDRV").abs();
+            if i <= 0.0 {
+                return Err(EvalError::MeasurementFailed {
+                    what: "no current through resistor".to_string(),
+                });
+            }
+            Ok(1.0 / i)
+        }
+        MetricKind::Cout => {
+            let y = admittance(&c, "VDRV", F_CAP)?;
+            // Remove the resistive part: C = Im(Y)/ω.
+            Ok(y.im.abs() / (2.0 * std::f64::consts::PI * F_CAP))
+        }
+        other => Err(EvalError::Unsupported {
+            reason: format!("metric {other:?} on a resistor"),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library::Library;
+    use prima_layout::{generate, CellConfig, PlacementPattern};
+
+    fn setup() -> (Technology, Library) {
+        (Technology::finfet7(), Library::standard())
+    }
+
+    #[test]
+    fn dp_schematic_gm_is_positive_and_sane() {
+        let (tech, lib) = setup();
+        let dp = lib.get("dp").unwrap();
+        let bias = Bias::nominal(&tech, &dp.class);
+        let gm = evaluate_metric(
+            &tech,
+            dp,
+            dp.metric("Gm").unwrap(),
+            LayoutView::Schematic { total_fins: 960 },
+            &bias,
+            &HashMap::new(),
+        )
+        .unwrap();
+        // 300 µA tail in a 46 µm pair: gm of a few mA/V (near weak inversion
+        // gm ≈ I/(n·Vt) bounds it at ~8.6 mA/V).
+        assert!(gm > 1e-3 && gm < 2e-2, "Gm = {gm}");
+    }
+
+    #[test]
+    fn dp_layout_gm_degrades_vs_schematic() {
+        let (tech, lib) = setup();
+        let dp = lib.get("dp").unwrap();
+        let bias = Bias::nominal(&tech, &dp.class);
+        let sch = evaluate_metric(
+            &tech,
+            dp,
+            dp.metric("Gm").unwrap(),
+            LayoutView::Schematic { total_fins: 960 },
+            &bias,
+            &HashMap::new(),
+        )
+        .unwrap();
+        let layout = generate(
+            &tech,
+            &dp.spec,
+            &CellConfig::new(8, 20, 6, PlacementPattern::Abba),
+        )
+        .unwrap();
+        let lay = evaluate_metric(
+            &tech,
+            dp,
+            dp.metric("Gm").unwrap(),
+            LayoutView::Layout(&layout),
+            &bias,
+            &HashMap::new(),
+        )
+        .unwrap();
+        assert!(lay < sch, "layout Gm {lay} vs schematic {sch}");
+        let degradation = (sch - lay) / sch;
+        assert!(
+            degradation < 0.25,
+            "Gm degradation should be percent-level, got {degradation}"
+        );
+    }
+
+    #[test]
+    fn dp_offset_zero_for_schematic_and_common_centroid() {
+        let (tech, lib) = setup();
+        let dp = lib.get("dp").unwrap();
+        let bias = Bias::nominal(&tech, &dp.class);
+        let off_sch = evaluate_metric(
+            &tech,
+            dp,
+            dp.metric("offset").unwrap(),
+            LayoutView::Schematic { total_fins: 192 },
+            &bias,
+            &HashMap::new(),
+        )
+        .unwrap();
+        assert!(off_sch < 1e-5, "schematic offset {off_sch}");
+        let abba = generate(
+            &tech,
+            &dp.spec,
+            &CellConfig::new(8, 12, 2, PlacementPattern::Abba),
+        )
+        .unwrap();
+        let off_abba = evaluate_metric(
+            &tech,
+            dp,
+            dp.metric("offset").unwrap(),
+            LayoutView::Layout(&abba),
+            &bias,
+            &HashMap::new(),
+        )
+        .unwrap();
+        let aabb = generate(
+            &tech,
+            &dp.spec,
+            &CellConfig::new(8, 12, 2, PlacementPattern::Aabb),
+        )
+        .unwrap();
+        let off_aabb = evaluate_metric(
+            &tech,
+            dp,
+            dp.metric("offset").unwrap(),
+            LayoutView::Layout(&aabb),
+            &bias,
+            &HashMap::new(),
+        )
+        .unwrap();
+        assert!(
+            off_abba < off_aabb,
+            "common centroid {off_abba} should beat blocked {off_aabb}"
+        );
+    }
+
+    #[test]
+    fn mirror_current_tracks_reference() {
+        let (tech, lib) = setup();
+        for name in ["cm", "cm_1to2", "cm_pmos"] {
+            let cm = lib.get(name).unwrap();
+            let bias = Bias::nominal(&tech, &cm.class);
+            let iout = evaluate_metric(
+                &tech,
+                cm,
+                cm.metric("Iout").unwrap(),
+                LayoutView::Schematic { total_fins: 64 },
+                &bias,
+                &HashMap::new(),
+            )
+            .unwrap();
+            let ratio = match &cm.class {
+                PrimitiveClass::CurrentMirror { ratio } => *ratio as f64,
+                _ => unreachable!(),
+            };
+            let ideal = 100e-6 * ratio;
+            let err = (iout - ideal).abs() / ideal;
+            assert!(err < 0.2, "{name}: Iout {iout} vs ideal {ideal}");
+        }
+    }
+
+    #[test]
+    fn csrc_metrics() {
+        let (tech, lib) = setup();
+        let cs = lib.get("csrc").unwrap();
+        let bias = Bias::nominal(&tech, &cs.class);
+        let view = LayoutView::Schematic { total_fins: 64 };
+        let i = evaluate_metric(&tech, cs, cs.metric("I").unwrap(), view, &bias, &HashMap::new())
+            .unwrap();
+        assert!(i > 1e-6, "current source delivers {i}");
+        let ro = evaluate_metric(
+            &tech,
+            cs,
+            cs.metric("ro").unwrap(),
+            view,
+            &bias,
+            &HashMap::new(),
+        )
+        .unwrap();
+        assert!(ro > 1e3, "ro = {ro}");
+    }
+
+    #[test]
+    fn amp_gm_and_ro() {
+        let (tech, lib) = setup();
+        let amp = lib.get("cs_amp").unwrap();
+        let bias = Bias::nominal(&tech, &amp.class);
+        let view = LayoutView::Schematic { total_fins: 96 };
+        let gm = evaluate_metric(
+            &tech,
+            amp,
+            amp.metric("Gm").unwrap(),
+            view,
+            &bias,
+            &HashMap::new(),
+        )
+        .unwrap();
+        let ro = evaluate_metric(
+            &tech,
+            amp,
+            amp.metric("ro").unwrap(),
+            view,
+            &bias,
+            &HashMap::new(),
+        )
+        .unwrap();
+        assert!(gm > 1e-4, "gm = {gm}");
+        assert!(ro > 1e3, "ro = {ro}");
+        // Intrinsic gain should be sensible for a short-channel FinFET stage.
+        let av = gm * ro;
+        assert!(av > 3.0 && av < 1e3, "gain {av}");
+    }
+
+    #[test]
+    fn load_diode_low_impedance() {
+        let (tech, lib) = setup();
+        let ld = lib.get("load_diode").unwrap();
+        let bias = Bias::nominal(&tech, &ld.class);
+        let view = LayoutView::Schematic { total_fins: 64 };
+        let ro = evaluate_metric(&tech, ld, ld.metric("ro").unwrap(), view, &bias, &HashMap::new())
+            .unwrap();
+        // Diode-connected: ro ≈ 1/gm — hundreds of ohms to a few kΩ here.
+        assert!(ro > 10.0 && ro < 1e5, "diode ro {ro}");
+    }
+
+    #[test]
+    fn switch_ron_reasonable() {
+        let (tech, lib) = setup();
+        let sw = lib.get("switch").unwrap();
+        let bias = Bias::nominal(&tech, &sw.class);
+        let view = LayoutView::Schematic { total_fins: 32 };
+        let ron = evaluate_metric(
+            &tech,
+            sw,
+            sw.metric("Ron").unwrap(),
+            view,
+            &bias,
+            &HashMap::new(),
+        )
+        .unwrap();
+        assert!(ron > 1.0 && ron < 1e4, "Ron {ron}");
+    }
+
+    #[test]
+    fn csi_delay_and_current() {
+        let (tech, lib) = setup();
+        let csi = lib.get("csi").unwrap();
+        let bias = Bias::nominal(&tech, &csi.class);
+        let view = LayoutView::Schematic { total_fins: 16 };
+        let d = evaluate_metric(
+            &tech,
+            csi,
+            csi.metric("delay").unwrap(),
+            view,
+            &bias,
+            &HashMap::new(),
+        )
+        .unwrap();
+        assert!(d > 1e-12 && d < 1e-9, "delay {d}");
+        let i = evaluate_metric(
+            &tech,
+            csi,
+            csi.metric("I").unwrap(),
+            view,
+            &bias,
+            &HashMap::new(),
+        )
+        .unwrap();
+        assert!(i > 1e-7, "avg current {i}");
+        let g = evaluate_metric(
+            &tech,
+            csi,
+            csi.metric("gain").unwrap(),
+            view,
+            &bias,
+            &HashMap::new(),
+        )
+        .unwrap();
+        assert!(g > 1.0, "inverter gain {g}");
+    }
+
+    #[test]
+    fn passive_cap_measures_design_value() {
+        let (_, lib) = setup();
+        let cap = lib.get("cap_mom").unwrap();
+        let tech = Technology::finfet7();
+        let bias = Bias::nominal(&tech, &cap.class);
+        let c = evaluate_metric(
+            &tech,
+            cap,
+            cap.metric("C").unwrap(),
+            LayoutView::Schematic { total_fins: 0 },
+            &bias,
+            &HashMap::new(),
+        )
+        .unwrap();
+        assert!((c - 100e-15).abs() / 100e-15 < 0.02, "C = {c}");
+        // Heavier port wiring lowers the usable bandwidth.
+        let mut ext = HashMap::new();
+        ext.insert(
+            "a".to_string(),
+            ExternalWire {
+                r_ohm: 200.0,
+                c_f: 5e-15,
+            },
+        );
+        let f0 = evaluate_metric(
+            &tech,
+            cap,
+            cap.metric("f").unwrap(),
+            LayoutView::Schematic { total_fins: 0 },
+            &bias,
+            &HashMap::new(),
+        )
+        .unwrap();
+        let f1 = evaluate_metric(
+            &tech,
+            cap,
+            cap.metric("f").unwrap(),
+            LayoutView::Schematic { total_fins: 0 },
+            &bias,
+            &ext,
+        )
+        .unwrap();
+        assert!(f1 < f0, "wiring lowers bandwidth: {f1} vs {f0}");
+    }
+
+    #[test]
+    fn passive_res_measures_design_value() {
+        let (tech, lib) = setup();
+        let res = lib.get("res_poly").unwrap();
+        let bias = Bias::nominal(&tech, &res.class);
+        let r = evaluate_metric(
+            &tech,
+            res,
+            res.metric("R").unwrap(),
+            LayoutView::Schematic { total_fins: 0 },
+            &bias,
+            &HashMap::new(),
+        )
+        .unwrap();
+        assert!((r - 2e3).abs() / 2e3 < 0.01, "R = {r}");
+    }
+
+    #[test]
+    fn evaluate_all_returns_every_metric() {
+        let (tech, lib) = setup();
+        let dp = lib.get("dp").unwrap();
+        let bias = Bias::nominal(&tech, &dp.class);
+        let vals = evaluate_all(
+            &tech,
+            dp,
+            LayoutView::Schematic { total_fins: 192 },
+            &bias,
+            &HashMap::new(),
+        )
+        .unwrap();
+        assert_eq!(vals.len(), 3);
+        assert!(vals.contains_key("Gm"));
+        assert!(vals.contains_key("Gm/Ctotal"));
+        assert!(vals.contains_key("offset"));
+    }
+
+    #[test]
+    fn wrong_metric_kind_is_unsupported() {
+        let (tech, lib) = setup();
+        let dp = lib.get("dp").unwrap();
+        let bias = Bias::nominal(&tech, &dp.class);
+        let bogus = Metric::new("delay", MetricKind::Delay, 1.0);
+        assert!(matches!(
+            evaluate_metric(
+                &tech,
+                dp,
+                &bogus,
+                LayoutView::Schematic { total_fins: 64 },
+                &bias,
+                &HashMap::new()
+            ),
+            Err(EvalError::Unsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn external_wire_degrades_dp_gm_over_ct() {
+        let (tech, lib) = setup();
+        let dp = lib.get("dp").unwrap();
+        let bias = Bias::nominal(&tech, &dp.class);
+        let view = LayoutView::Schematic { total_fins: 960 };
+        let base = evaluate_metric(
+            &tech,
+            dp,
+            dp.metric("Gm/Ctotal").unwrap(),
+            view,
+            &bias,
+            &HashMap::new(),
+        )
+        .unwrap();
+        let mut ext = HashMap::new();
+        for net in ["da", "db"] {
+            ext.insert(
+                net.to_string(),
+                ExternalWire {
+                    r_ohm: 120.0,
+                    c_f: 4e-15,
+                },
+            );
+        }
+        let wired = evaluate_metric(
+            &tech,
+            dp,
+            dp.metric("Gm/Ctotal").unwrap(),
+            view,
+            &bias,
+            &ext,
+        )
+        .unwrap();
+        assert!(wired < base, "extra drain wiring lowers Gm/Ct: {wired} vs {base}");
+    }
+}
+
+#[cfg(test)]
+mod library_sweep {
+    use super::*;
+    use crate::library::Library;
+
+    /// Every library entry must evaluate every one of its metrics on a
+    /// schematic view — no dangling metric kinds, no non-converging
+    /// testbenches anywhere in the catalog.
+    #[test]
+    fn every_primitive_evaluates_all_metrics() {
+        let tech = Technology::finfet7();
+        let lib = Library::standard();
+        for def in lib.iter() {
+            let bias = Bias::nominal(&tech, &def.class);
+            let fins = if def.spec.devices.is_empty() { 0 } else { 32 };
+            let vals = evaluate_all(
+                &tech,
+                def,
+                LayoutView::Schematic { total_fins: fins },
+                &bias,
+                &HashMap::new(),
+            )
+            .unwrap_or_else(|e| panic!("{}: {e}", def.name));
+            for m in &def.metrics {
+                let v = vals[&m.name];
+                assert!(v.is_finite(), "{}::{} = {v}", def.name, m.name);
+            }
+        }
+    }
+
+    /// And with a generated layout (the non-passive entries).
+    #[test]
+    fn every_fet_primitive_evaluates_from_layout() {
+        use prima_layout::{generate, CellConfig, PlacementPattern};
+        let tech = Technology::finfet7();
+        let lib = Library::standard();
+        for def in lib.iter() {
+            if def.spec.devices.is_empty() {
+                continue;
+            }
+            let bias = Bias::nominal(&tech, &def.class);
+            let cfg = CellConfig::new(4, 4, 2, PlacementPattern::Abab);
+            let layout = generate(&tech, &def.spec, &cfg)
+                .unwrap_or_else(|e| panic!("{}: generation {e}", def.name));
+            let vals = evaluate_all(
+                &tech,
+                def,
+                LayoutView::Layout(&layout),
+                &bias,
+                &HashMap::new(),
+            )
+            .unwrap_or_else(|e| panic!("{}: {e}", def.name));
+            for m in &def.metrics {
+                assert!(
+                    vals[&m.name].is_finite(),
+                    "{}::{} not finite",
+                    def.name,
+                    m.name
+                );
+            }
+        }
+    }
+}

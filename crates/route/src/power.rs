@@ -1,0 +1,195 @@
+//! Power-grid synthesis and IR-drop estimation.
+//!
+//! The paper routes power manually and folds the resulting IR drop into
+//! every evaluated layout (§IV). This module plays that role: straps of a
+//! chosen layer are drawn across the placement at a fixed pitch, each block
+//! taps the nearest strap, and the worst-case IR drop is estimated from
+//! the per-block supply currents — yielding the effective series
+//! resistance the circuit-level testbenches place in the rail.
+
+use prima_geom::{Nm, Rect};
+use prima_pdk::Technology;
+use serde::{Deserialize, Serialize};
+
+/// Power-grid construction parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PowerGridSpec {
+    /// Strap metal layer (1-based; typically a thick upper layer).
+    pub layer: usize,
+    /// Vertical pitch between straps (nm).
+    pub strap_pitch: Nm,
+    /// Width of each strap in routing tracks (parallel min-width wires).
+    pub strap_tracks: u32,
+}
+
+impl Default for PowerGridSpec {
+    fn default() -> Self {
+        PowerGridSpec {
+            layer: 6,
+            strap_pitch: 3000,
+            strap_tracks: 4,
+        }
+    }
+}
+
+/// Result of synthesizing a power grid over a placement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerReport {
+    /// Number of horizontal straps drawn.
+    pub strap_count: usize,
+    /// Total strap wirelength (nm).
+    pub strap_length_nm: Nm,
+    /// Worst block IR drop (V).
+    pub worst_drop_v: f64,
+    /// Effective series resistance seen by the whole circuit (Ω):
+    /// worst drop divided by total current.
+    pub effective_r_ohm: f64,
+}
+
+/// Synthesizes the grid and estimates IR drop.
+///
+/// `blocks` pairs each placed block rectangle with its supply current (A).
+/// The supply pad is assumed at the placement's left edge, so a block's
+/// feed resistance grows with its x-position; blocks between two straps
+/// share them.
+///
+/// # Panics
+///
+/// Panics if `spec.strap_tracks` is zero or `spec.layer` is not in the
+/// stack.
+pub fn synthesize(
+    tech: &Technology,
+    placement_bbox: Rect,
+    blocks: &[(Rect, f64)],
+    spec: &PowerGridSpec,
+) -> PowerReport {
+    assert!(spec.strap_tracks > 0, "straps need at least one track");
+    let layer = tech.metal(spec.layer);
+    let width = placement_bbox.width().max(1);
+    let height = placement_bbox.height().max(1);
+    let strap_count = (height / spec.strap_pitch).max(1) as usize + 1;
+    let strap_length_nm = width * strap_count as Nm;
+
+    let total_current: f64 = blocks.iter().map(|(_, i)| i).sum();
+    let mut worst_drop: f64 = 0.0;
+    for (rect, current) in blocks {
+        // Distance from the left-edge pad to the block's center along the
+        // strap; blocks straddling strap rows split their current over the
+        // two nearest straps.
+        let x_dist = (rect.center().x - placement_bbox.lo.x).max(0);
+        let sharing = if strap_count > 1 { 2.0 } else { 1.0 };
+        let r_feed = layer.resistance(x_dist, spec.strap_tracks) / sharing;
+        // Everyone upstream of this block also pulls through the shared
+        // trunk: approximate with half the total current over half the
+        // feed (uniform draw along the strap).
+        let drop = current * r_feed + 0.5 * (total_current - current) * r_feed * 0.5;
+        worst_drop = worst_drop.max(drop);
+    }
+    let effective_r = if total_current > 0.0 {
+        worst_drop / total_current
+    } else {
+        0.0
+    };
+    PowerReport {
+        strap_count,
+        strap_length_nm,
+        worst_drop_v: worst_drop,
+        effective_r_ohm: effective_r.max(0.05),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prima_geom::Point;
+
+    fn tech() -> Technology {
+        Technology::finfet7()
+    }
+
+    fn bbox() -> Rect {
+        Rect::from_size(Point::new(0, 0), 12_000, 9_000)
+    }
+
+    #[test]
+    fn straps_cover_the_placement() {
+        let t = tech();
+        let r = synthesize(&t, bbox(), &[], &PowerGridSpec::default());
+        assert_eq!(r.strap_count, 4); // 9000/3000 + 1
+        assert_eq!(r.strap_length_nm, 48_000);
+        assert_eq!(r.worst_drop_v, 0.0);
+    }
+
+    #[test]
+    fn farther_blocks_drop_more() {
+        let t = tech();
+        let near = vec![(Rect::from_size(Point::new(500, 0), 1000, 1000), 1e-3)];
+        let far = vec![(Rect::from_size(Point::new(10_000, 0), 1000, 1000), 1e-3)];
+        let spec = PowerGridSpec::default();
+        let rn = synthesize(&t, bbox(), &near, &spec);
+        let rf = synthesize(&t, bbox(), &far, &spec);
+        assert!(rf.worst_drop_v > rn.worst_drop_v);
+        assert!(rf.effective_r_ohm > rn.effective_r_ohm);
+    }
+
+    #[test]
+    fn wider_straps_reduce_drop() {
+        let t = tech();
+        let blocks = vec![(Rect::from_size(Point::new(8_000, 2_000), 1000, 1000), 2e-3)];
+        let thin = synthesize(
+            &t,
+            bbox(),
+            &blocks,
+            &PowerGridSpec {
+                strap_tracks: 1,
+                ..Default::default()
+            },
+        );
+        let wide = synthesize(
+            &t,
+            bbox(),
+            &blocks,
+            &PowerGridSpec {
+                strap_tracks: 8,
+                ..Default::default()
+            },
+        );
+        assert!(wide.worst_drop_v < thin.worst_drop_v / 4.0);
+    }
+
+    #[test]
+    fn more_current_more_drop() {
+        let t = tech();
+        let spec = PowerGridSpec::default();
+        let lo = synthesize(
+            &t,
+            bbox(),
+            &[(Rect::from_size(Point::new(6_000, 0), 1000, 1000), 100e-6)],
+            &spec,
+        );
+        let hi = synthesize(
+            &t,
+            bbox(),
+            &[(Rect::from_size(Point::new(6_000, 0), 1000, 1000), 1e-3)],
+            &spec,
+        );
+        assert!(hi.worst_drop_v > 5.0 * lo.worst_drop_v);
+        // Effective R is current-normalized, so it stays put.
+        assert!((hi.effective_r_ohm / lo.effective_r_ohm - 1.0).abs() < 0.3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one track")]
+    fn zero_tracks_rejected() {
+        let t = tech();
+        let _ = synthesize(
+            &t,
+            bbox(),
+            &[],
+            &PowerGridSpec {
+                strap_tracks: 0,
+                ..Default::default()
+            },
+        );
+    }
+}

@@ -1,0 +1,181 @@
+//! DC sweep analysis: re-solve the operating point across a swept source
+//! value (the workhorse behind transfer curves and trip-point searches).
+
+use crate::netlist::{Circuit, Element, Waveform};
+
+use super::dc::{DcSolver, OperatingPoint};
+use super::AnalysisError;
+
+/// A DC sweep: one operating point per swept value.
+#[derive(Debug, Clone)]
+pub struct DcSweep {
+    source: String,
+    values: Vec<f64>,
+    solver: DcSolver,
+}
+
+impl DcSweep {
+    /// Creates a sweep of the named independent source over explicit values.
+    pub fn new(source: &str, values: Vec<f64>) -> Self {
+        DcSweep {
+            source: source.to_string(),
+            values,
+            solver: DcSolver::new(),
+        }
+    }
+
+    /// Creates a linear sweep with `points` samples over `[start, stop]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points < 2`.
+    pub fn linear(source: &str, start: f64, stop: f64, points: usize) -> Self {
+        assert!(points >= 2, "a sweep needs at least two points");
+        let values = (0..points)
+            .map(|i| start + (stop - start) * i as f64 / (points - 1) as f64)
+            .collect();
+        Self::new(source, values)
+    }
+
+    /// The swept values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Runs the sweep on a copy of the circuit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::BadParameters`] when the named source does
+    /// not exist (or is not an independent V/I source), and propagates DC
+    /// convergence failures (annotated with the failing sweep value).
+    pub fn solve(&self, circuit: &Circuit) -> Result<Vec<OperatingPoint>, AnalysisError> {
+        let mut work = circuit.clone();
+        // Locate the source element.
+        let idx = work
+            .elements()
+            .iter()
+            .position(|e| {
+                e.name().eq_ignore_ascii_case(&self.source)
+                    && matches!(e, Element::VSource { .. } | Element::ISource { .. })
+            })
+            .ok_or_else(|| AnalysisError::BadParameters {
+                reason: format!("no independent source named {}", self.source),
+            })?;
+
+        let mut out = Vec::with_capacity(self.values.len());
+        for &v in &self.values {
+            set_source_value(&mut work, idx, v);
+            let op = self.solver.solve(&work).map_err(|e| match e {
+                AnalysisError::NoConvergence { phase, iterations } => {
+                    AnalysisError::NoConvergence {
+                        phase: format!("{phase} at sweep value {v}"),
+                        iterations,
+                    }
+                }
+                other => other,
+            })?;
+            out.push(op);
+        }
+        Ok(out)
+    }
+}
+
+fn set_source_value(circuit: &mut Circuit, idx: usize, v: f64) {
+    // Element order is stable; rebuild the waveform as pure DC.
+    if let Some(el) = circuit.elements_mut().get_mut(idx) {
+        match el {
+            Element::VSource { wave, .. } | Element::ISource { wave, .. } => {
+                *wave = Waveform::Dc(v);
+            }
+            _ => unreachable!("index points at an independent source"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::devices::{FetInstance, FetModel, FetPolarity};
+
+    #[test]
+    fn sweeps_divider_linearly() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.vsource("V1", a, Circuit::GROUND, 0.0);
+        c.resistor("R1", a, b, 1e3).unwrap();
+        c.resistor("R2", b, Circuit::GROUND, 1e3).unwrap();
+        let sweep = DcSweep::linear("V1", 0.0, 2.0, 5);
+        let ops = sweep.solve(&c).unwrap();
+        assert_eq!(ops.len(), 5);
+        for (op, &v) in ops.iter().zip(sweep.values()) {
+            assert!((op.voltage(b) - v / 2.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn inverter_transfer_curve_is_monotone() {
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        let vin = c.node("vin");
+        let out = c.node("out");
+        c.vsource("VDD", vdd, Circuit::GROUND, 0.8);
+        c.vsource("VIN", vin, Circuit::GROUND, 0.0);
+        c.fet(FetInstance::new(
+            "MN",
+            out,
+            vin,
+            Circuit::GROUND,
+            Circuit::GROUND,
+            FetModel::ideal(FetPolarity::Nmos),
+            1e-6,
+            50e-9,
+        ))
+        .unwrap();
+        c.fet(FetInstance::new(
+            "MP",
+            out,
+            vin,
+            vdd,
+            vdd,
+            FetModel::ideal(FetPolarity::Pmos),
+            2e-6,
+            50e-9,
+        ))
+        .unwrap();
+        let ops = DcSweep::linear("VIN", 0.0, 0.8, 17).solve(&c).unwrap();
+        let mut last = f64::INFINITY;
+        for op in &ops {
+            let v = op.voltage(out);
+            assert!(v <= last + 1e-6, "transfer curve not monotone");
+            last = v;
+        }
+        assert!(ops[0].voltage(out) > 0.75);
+        assert!(ops[16].voltage(out) < 0.05);
+    }
+
+    #[test]
+    fn unknown_source_is_rejected() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.vsource("V1", a, Circuit::GROUND, 1.0);
+        c.resistor("R1", a, Circuit::GROUND, 1e3).unwrap();
+        let err = DcSweep::linear("VMISSING", 0.0, 1.0, 3).solve(&c);
+        assert!(matches!(err, Err(AnalysisError::BadParameters { .. })));
+        // Resistors are not sweepable sources.
+        let err = DcSweep::linear("R1", 0.0, 1.0, 3).solve(&c);
+        assert!(matches!(err, Err(AnalysisError::BadParameters { .. })));
+    }
+
+    #[test]
+    fn current_source_sweep() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.isource("I1", Circuit::GROUND, a, 0.0);
+        c.resistor("R1", a, Circuit::GROUND, 2e3).unwrap();
+        let ops = DcSweep::new("I1", vec![1e-6, 1e-3]).solve(&c).unwrap();
+        assert!((ops[0].voltage(a) - 2e-3).abs() < 1e-9);
+        assert!((ops[1].voltage(a) - 2.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,720 @@
+//! A SPICE-like text-deck parser.
+//!
+//! Supported cards (case-insensitive, `+` continuation lines, `*` comment
+//! lines, `;`/`$` trailing comments):
+//!
+//! ```text
+//! Rname a b value
+//! Cname a b value [ic=v]
+//! Lname a b value
+//! Vname p n [DC v] [AC mag] [PULSE(v1 v2 td tr tf pw per)] [SIN(off amp f td ph)] [PWL(t1 v1 t2 v2 …)]
+//! Iname p n …same as V…
+//! Ename p n cp cn gain
+//! Gname p n cp cn gm
+//! Mname d g s b model [w=] [l=] [dvth=] [mus=] [ad=] [as=] [pd=] [ps=]
+//! Xname node… subcktname
+//! .model name nmos|pmos (key=value …)
+//! .subckt name port… / .ends
+//! .end
+//! ```
+//!
+//! Values accept engineering suffixes `t g meg k m u n p f` and ignore any
+//! trailing unit letters (`10kOhm`, `5pF`).
+
+use std::collections::HashMap;
+
+use crate::devices::{FetInstance, FetModel, FetPolarity};
+
+use super::{Circuit, ModelLibrary, SpiceError, Waveform};
+
+/// Parses a SPICE-like deck into a flat [`Circuit`].
+///
+/// `library` provides models that the deck may reference in addition to any
+/// `.model` cards it defines itself.
+///
+/// # Errors
+///
+/// Returns [`SpiceError::Parse`] with a 1-based line number for malformed
+/// cards, [`SpiceError::UnknownModel`] / [`SpiceError::UnknownSubcircuit`]
+/// for dangling references.
+pub fn parse(text: &str, library: &ModelLibrary) -> Result<Circuit, SpiceError> {
+    let lines = join_continuations(text);
+    let mut models = library.clone();
+    let mut subckts: HashMap<String, SubcktDef> = HashMap::new();
+    let mut top_cards: Vec<(usize, String)> = Vec::new();
+
+    // Pass 1: split into subcircuit definitions, model cards, top-level cards.
+    let mut current_sub: Option<SubcktDef> = None;
+    for (lineno, line) in &lines {
+        let lower = line.to_ascii_lowercase();
+        if lower.starts_with(".subckt") {
+            if current_sub.is_some() {
+                return Err(SpiceError::Parse {
+                    line: *lineno,
+                    reason: "nested .subckt definitions are not supported".to_string(),
+                });
+            }
+            let toks: Vec<&str> = line.split_whitespace().collect();
+            if toks.len() < 2 {
+                return Err(SpiceError::Parse {
+                    line: *lineno,
+                    reason: ".subckt requires a name".to_string(),
+                });
+            }
+            current_sub = Some(SubcktDef {
+                name: toks[1].to_ascii_lowercase(),
+                ports: toks[2..].iter().map(|s| s.to_ascii_lowercase()).collect(),
+                cards: Vec::new(),
+            });
+        } else if lower.starts_with(".ends") {
+            let sub = current_sub.take().ok_or(SpiceError::Parse {
+                line: *lineno,
+                reason: ".ends without matching .subckt".to_string(),
+            })?;
+            subckts.insert(sub.name.clone(), sub);
+        } else if lower.starts_with(".model") {
+            let (name, model) = parse_model(*lineno, line)?;
+            models.insert(&name, model);
+        } else if lower.starts_with(".end") {
+            break;
+        } else if lower.starts_with('.') {
+            // Other directives (.param, .options…) are ignored for now.
+            continue;
+        } else if let Some(sub) = current_sub.as_mut() {
+            sub.cards.push((*lineno, line.clone()));
+        } else {
+            top_cards.push((*lineno, line.clone()));
+        }
+    }
+    if current_sub.is_some() {
+        return Err(SpiceError::Parse {
+            line: lines.last().map(|(n, _)| *n).unwrap_or(0),
+            reason: "unterminated .subckt".to_string(),
+        });
+    }
+
+    // Pass 2: build subcircuit bodies (definitions may reference earlier ones).
+    let mut built: HashMap<String, (Vec<String>, Circuit)> = HashMap::new();
+    // Iterate until no progress to allow any definition order without cycles.
+    let mut remaining: Vec<&SubcktDef> = subckts.values().collect();
+    remaining.sort_by(|a, b| a.name.cmp(&b.name));
+    loop {
+        let before = remaining.len();
+        let mut next_round = Vec::new();
+        for def in remaining {
+            match build_cards(&def.cards, &models, &built) {
+                Ok(circ) => {
+                    built.insert(def.name.clone(), (def.ports.clone(), circ));
+                }
+                Err(SpiceError::UnknownSubcircuit { .. }) => next_round.push(def),
+                Err(e) => return Err(e),
+            }
+        }
+        if next_round.is_empty() {
+            break;
+        }
+        if next_round.len() == before {
+            return Err(SpiceError::UnknownSubcircuit {
+                name: next_round[0].name.clone(),
+            });
+        }
+        remaining = next_round;
+    }
+
+    // Pass 3: top level.
+    build_cards(&top_cards, &models, &built)
+}
+
+#[derive(Debug, Clone)]
+struct SubcktDef {
+    name: String,
+    ports: Vec<String>,
+    cards: Vec<(usize, String)>,
+}
+
+fn build_cards(
+    cards: &[(usize, String)],
+    models: &ModelLibrary,
+    subckts: &HashMap<String, (Vec<String>, Circuit)>,
+) -> Result<Circuit, SpiceError> {
+    let mut c = Circuit::new();
+    for (lineno, line) in cards {
+        parse_card(&mut c, *lineno, line, models, subckts)?;
+    }
+    Ok(c)
+}
+
+fn parse_card(
+    c: &mut Circuit,
+    lineno: usize,
+    line: &str,
+    models: &ModelLibrary,
+    subckts: &HashMap<String, (Vec<String>, Circuit)>,
+) -> Result<(), SpiceError> {
+    let toks = tokenize(line);
+    if toks.is_empty() {
+        return Ok(());
+    }
+    let name = toks[0].clone();
+    let kind = name
+        .chars()
+        .next()
+        .unwrap_or(' ')
+        .to_ascii_lowercase();
+    let err = |reason: String| SpiceError::Parse {
+        line: lineno,
+        reason,
+    };
+    match kind {
+        'r' | 'c' | 'l' => {
+            if toks.len() < 4 {
+                return Err(err(format!("{name}: expected 2 nodes and a value")));
+            }
+            let a = c.node(&toks[1]);
+            let b = c.node(&toks[2]);
+            let v = parse_value(&toks[3]).ok_or_else(|| err(format!("bad value {}", toks[3])))?;
+            match kind {
+                'r' => c.resistor(&name, a, b, v)?,
+                'l' => c.inductor(&name, a, b, v)?,
+                'c' => {
+                    let mut ic = None;
+                    for t in &toks[4..] {
+                        if let Some(rest) = t.to_ascii_lowercase().strip_prefix("ic=") {
+                            ic = Some(
+                                parse_value(rest)
+                                    .ok_or_else(|| err(format!("bad ic value {t}")))?,
+                            );
+                        }
+                    }
+                    match ic {
+                        Some(icv) => c.capacitor_ic(&name, a, b, v, icv)?,
+                        None => c.capacitor(&name, a, b, v)?,
+                    }
+                }
+                _ => unreachable!(),
+            }
+        }
+        'v' | 'i' => {
+            if toks.len() < 3 {
+                return Err(err(format!("{name}: expected 2 nodes")));
+            }
+            let p = c.node(&toks[1]);
+            let n = c.node(&toks[2]);
+            let (wave, ac_mag) = parse_source_spec(&toks[3..])
+                .map_err(|reason| err(format!("{name}: {reason}")))?;
+            if kind == 'v' {
+                c.vsource_wave(&name, p, n, wave, ac_mag);
+            } else {
+                c.isource_wave(&name, p, n, wave, ac_mag);
+            }
+        }
+        'e' | 'g' => {
+            if toks.len() < 6 {
+                return Err(err(format!("{name}: expected 4 nodes and a gain")));
+            }
+            let p = c.node(&toks[1]);
+            let n = c.node(&toks[2]);
+            let cp = c.node(&toks[3]);
+            let cn = c.node(&toks[4]);
+            let gain =
+                parse_value(&toks[5]).ok_or_else(|| err(format!("bad gain {}", toks[5])))?;
+            if kind == 'e' {
+                c.vcvs(&name, p, n, cp, cn, gain);
+            } else {
+                c.vccs(&name, p, n, cp, cn, gain);
+            }
+        }
+        'm' => {
+            if toks.len() < 6 {
+                return Err(err(format!("{name}: expected d g s b model")));
+            }
+            let d = c.node(&toks[1]);
+            let g = c.node(&toks[2]);
+            let s = c.node(&toks[3]);
+            let b = c.node(&toks[4]);
+            let model = models
+                .get(&toks[5])
+                .ok_or(SpiceError::UnknownModel {
+                    name: toks[5].clone(),
+                })?
+                .clone();
+            let mut fet = FetInstance::new(&name, d, g, s, b, model, 1e-6, 100e-9);
+            for t in &toks[6..] {
+                let lower = t.to_ascii_lowercase();
+                let Some((key, val)) = lower.split_once('=') else {
+                    return Err(err(format!("bad FET parameter {t}")));
+                };
+                let v = parse_value(val).ok_or_else(|| err(format!("bad value {t}")))?;
+                match key {
+                    "w" => fet.w = v,
+                    "l" => fet.l = v,
+                    "dvth" => fet.delta_vth = v,
+                    "mus" => fet.mobility_scale = v,
+                    "ad" => fet.ad = v,
+                    "as" => fet.as_ = v,
+                    "pd" => fet.pd = v,
+                    "ps" => fet.ps = v,
+                    other => return Err(err(format!("unknown FET parameter {other}"))),
+                }
+            }
+            c.fet(fet)?;
+        }
+        'x' => {
+            if toks.len() < 2 {
+                return Err(err(format!("{name}: expected nodes and a subckt name")));
+            }
+            let sub_name = toks.last().unwrap().to_ascii_lowercase();
+            let (ports, sub) = subckts.get(&sub_name).ok_or(SpiceError::UnknownSubcircuit {
+                name: sub_name.clone(),
+            })?;
+            let given = &toks[1..toks.len() - 1];
+            if given.len() != ports.len() {
+                return Err(err(format!(
+                    "{name}: subckt {sub_name} has {} ports, got {}",
+                    ports.len(),
+                    given.len()
+                )));
+            }
+            let mut map = HashMap::new();
+            for (port, node) in ports.iter().zip(given.iter()) {
+                map.insert(port.clone(), c.node(node));
+            }
+            c.instantiate(&name, sub, &map)?;
+        }
+        other => {
+            return Err(err(format!("unknown element type '{other}'")));
+        }
+    }
+    Ok(())
+}
+
+/// Parses the source spec after the node list of a V/I card.
+fn parse_source_spec(toks: &[String]) -> Result<(Waveform, f64), String> {
+    let mut wave: Option<Waveform> = None;
+    let mut dc: Option<f64> = None;
+    let mut ac_mag = 0.0;
+    let mut i = 0;
+    while i < toks.len() {
+        let t = toks[i].to_ascii_lowercase();
+        if t == "dc" {
+            i += 1;
+            let v = toks
+                .get(i)
+                .and_then(|s| parse_value(s))
+                .ok_or("DC needs a value")?;
+            dc = Some(v);
+        } else if t == "ac" {
+            i += 1;
+            let v = toks
+                .get(i)
+                .and_then(|s| parse_value(s))
+                .ok_or("AC needs a magnitude")?;
+            ac_mag = v;
+        } else if let Some(args) = t.strip_prefix("pulse") {
+            let vals = parse_paren_list(args)?;
+            if vals.len() < 7 {
+                return Err(format!("PULSE needs 7 values, got {}", vals.len()));
+            }
+            wave = Some(Waveform::Pulse {
+                v1: vals[0],
+                v2: vals[1],
+                delay: vals[2],
+                rise: vals[3],
+                fall: vals[4],
+                width: vals[5],
+                period: if vals[6] > 0.0 { vals[6] } else { f64::INFINITY },
+            });
+        } else if let Some(args) = t.strip_prefix("sin") {
+            let vals = parse_paren_list(args)?;
+            if vals.len() < 3 {
+                return Err(format!("SIN needs at least 3 values, got {}", vals.len()));
+            }
+            wave = Some(Waveform::Sin {
+                offset: vals[0],
+                amplitude: vals[1],
+                freq: vals[2],
+                delay: vals.get(3).copied().unwrap_or(0.0),
+                phase_deg: vals.get(4).copied().unwrap_or(0.0),
+            });
+        } else if let Some(args) = t.strip_prefix("pwl") {
+            let vals = parse_paren_list(args)?;
+            if vals.len() < 2 || vals.len() % 2 != 0 {
+                return Err("PWL needs an even number of values".to_string());
+            }
+            wave = Some(Waveform::Pwl(
+                vals.chunks(2).map(|p| (p[0], p[1])).collect(),
+            ));
+        } else if let Some(v) = parse_value(&t) {
+            // A bare number means DC.
+            dc = Some(v);
+        } else {
+            return Err(format!("unrecognized source token {t}"));
+        }
+        i += 1;
+    }
+    let wave = match (wave, dc) {
+        (Some(w), _) => w,
+        (None, Some(v)) => Waveform::Dc(v),
+        (None, None) => Waveform::Dc(0.0),
+    };
+    Ok((wave, ac_mag))
+}
+
+fn parse_paren_list(args: &str) -> Result<Vec<f64>, String> {
+    let inner = args
+        .trim()
+        .strip_prefix('(')
+        .and_then(|s| s.strip_suffix(')'))
+        .ok_or("expected parenthesized argument list")?;
+    inner
+        .split_whitespace()
+        .map(|s| parse_value(s).ok_or(format!("bad number {s}")))
+        .collect()
+}
+
+fn parse_model(lineno: usize, line: &str) -> Result<(String, FetModel), SpiceError> {
+    let err = |reason: String| SpiceError::Parse {
+        line: lineno,
+        reason,
+    };
+    // .model NAME nmos|pmos (k=v ...)
+    let rest = line[6..].trim();
+    let (name, rest) = rest
+        .split_once(char::is_whitespace)
+        .ok_or_else(|| err(".model requires a name and type".to_string()))?;
+    let rest = rest.trim();
+    let (kind, params) = match rest.split_once(|ch: char| ch.is_whitespace() || ch == '(') {
+        Some((k, p)) => (k, p),
+        None => (rest, ""),
+    };
+    let polarity = match kind.to_ascii_lowercase().as_str() {
+        "nmos" => FetPolarity::Nmos,
+        "pmos" => FetPolarity::Pmos,
+        other => return Err(err(format!("unknown model type {other}"))),
+    };
+    let mut model = FetModel::ideal(polarity);
+    let params = params.trim().trim_start_matches('(').trim_end_matches(')');
+    for kv in params.split_whitespace() {
+        let Some((k, v)) = kv.split_once('=') else {
+            return Err(err(format!("bad model parameter {kv}")));
+        };
+        let v = parse_value(v).ok_or_else(|| err(format!("bad model value {kv}")))?;
+        match k.to_ascii_lowercase().as_str() {
+            "vth0" => model.vth0 = v,
+            "kp" => model.kp = v,
+            "lambda" => model.lambda = v,
+            "n" => model.n_slope = v,
+            "gamma" => model.gamma = v,
+            "phi" => model.phi = v,
+            "cox" => model.cox = v,
+            "cgso" => model.cgso = v,
+            "cgdo" => model.cgdo = v,
+            "cj" => model.cj = v,
+            "cjsw" => model.cjsw = v,
+            "temp" => model.temp_c = v,
+            other => return Err(err(format!("unknown model parameter {other}"))),
+        }
+    }
+    Ok((name.to_string(), model))
+}
+
+/// Joins `+` continuation lines and strips comments; returns `(lineno, text)`.
+fn join_continuations(text: &str) -> Vec<(usize, String)> {
+    let mut out: Vec<(usize, String)> = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let mut line = raw.trim().to_string();
+        if line.is_empty() || line.starts_with('*') {
+            continue;
+        }
+        if let Some(pos) = line.find(';') {
+            line.truncate(pos);
+        }
+        if let Some(pos) = line.find('$') {
+            line.truncate(pos);
+        }
+        let line = line.trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('+') {
+            if let Some(last) = out.last_mut() {
+                last.1.push(' ');
+                last.1.push_str(rest.trim());
+                continue;
+            }
+        }
+        out.push((lineno, line));
+    }
+    out
+}
+
+/// Tokenizes a card, keeping `FUNC(...)` groups as single tokens.
+fn tokenize(line: &str) -> Vec<String> {
+    let mut toks: Vec<String> = Vec::new();
+    let mut depth = 0usize;
+    let mut cur = String::new();
+    for ch in line.chars() {
+        match ch {
+            '(' => {
+                depth += 1;
+                cur.push(ch);
+            }
+            ')' => {
+                depth = depth.saturating_sub(1);
+                cur.push(ch);
+            }
+            c if c.is_whitespace() && depth == 0 => {
+                if !cur.is_empty() {
+                    toks.push(std::mem::take(&mut cur));
+                }
+            }
+            c => cur.push(c),
+        }
+    }
+    if !cur.is_empty() {
+        toks.push(cur);
+    }
+    // Merge `FUNC (args)` split across tokens: a token ending without '('
+    // followed by a token starting with '('.
+    let mut merged: Vec<String> = Vec::new();
+    for t in toks {
+        if t.starts_with('(') {
+            if let Some(last) = merged.last_mut() {
+                let lower = last.to_ascii_lowercase();
+                if lower == "pulse" || lower == "sin" || lower == "pwl" {
+                    last.push_str(&t);
+                    continue;
+                }
+            }
+        }
+        merged.push(t);
+    }
+    merged
+}
+
+/// Parses a SPICE number with engineering suffix. Returns `None` on failure.
+pub fn parse_value(s: &str) -> Option<f64> {
+    let s = s.trim().to_ascii_lowercase();
+    if s.is_empty() {
+        return None;
+    }
+    // Split numeric prefix from the suffix.
+    let mut split = s.len();
+    for (i, ch) in s.char_indices() {
+        if !(ch.is_ascii_digit() || ch == '.' || ch == '+' || ch == '-' || ch == 'e') {
+            split = i;
+            break;
+        }
+        // 'e' must be followed by digits/sign to be scientific notation.
+        if ch == 'e' {
+            let rest = &s[i + 1..];
+            let ok = rest
+                .chars()
+                .next()
+                .map(|c| c.is_ascii_digit() || c == '+' || c == '-')
+                .unwrap_or(false);
+            if !ok {
+                split = i;
+                break;
+            }
+        }
+    }
+    let (num, suffix) = s.split_at(split);
+    let base: f64 = num.parse().ok()?;
+    let mult = if suffix.starts_with("meg") {
+        1e6
+    } else if suffix.starts_with('t') {
+        1e12
+    } else if suffix.starts_with('g') {
+        1e9
+    } else if suffix.starts_with('k') {
+        1e3
+    } else if suffix.starts_with('m') {
+        1e-3
+    } else if suffix.starts_with('u') {
+        1e-6
+    } else if suffix.starts_with('n') {
+        1e-9
+    } else if suffix.starts_with('p') {
+        1e-12
+    } else if suffix.starts_with('f') {
+        1e-15
+    } else if suffix.is_empty() || suffix.chars().all(|c| c.is_ascii_alphabetic()) {
+        1.0
+    } else {
+        return None;
+    };
+    Some(base * mult)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::dc::DcSolver;
+
+    #[test]
+    fn values_with_suffixes() {
+        assert_eq!(parse_value("10k"), Some(10e3));
+        assert_eq!(parse_value("4.7meg"), Some(4.7e6));
+        assert_eq!(parse_value("2.2u"), Some(2.2e-6));
+        assert_eq!(parse_value("100n"), Some(100.0 * 1e-9));
+        assert_eq!(parse_value("3p"), Some(3e-12));
+        assert_eq!(parse_value("15f"), Some(15.0 * 1e-15));
+        assert_eq!(parse_value("1e-9"), Some(1e-9));
+        assert_eq!(parse_value("1E6"), Some(1e6));
+        assert_eq!(parse_value("-0.5"), Some(-0.5));
+        assert_eq!(parse_value("10kohm"), Some(10e3));
+        assert_eq!(parse_value("5pf"), Some(5e-12));
+        assert_eq!(parse_value("volts"), None);
+        assert_eq!(parse_value(""), None);
+    }
+
+    #[test]
+    fn parses_divider_and_solves() {
+        let deck = "\
+* a divider
+V1 vin 0 DC 2.0
+R1 vin mid 1k
+R2 mid 0 3k
+.end
+";
+        let c = parse(deck, &ModelLibrary::new()).unwrap();
+        let op = DcSolver::new().solve(&c).unwrap();
+        let mid = c.find_node("mid").unwrap();
+        assert!((op.voltage(mid) - 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn continuation_and_comments() {
+        let deck = "\
+V1 a 0 DC 1 ; trailing comment
+R1 a b
++ 1k $ continued card
+R2 b 0 1k
+";
+        let c = parse(deck, &ModelLibrary::new()).unwrap();
+        assert_eq!(c.elements().len(), 3);
+    }
+
+    #[test]
+    fn pulse_source_roundtrip() {
+        let deck = "V1 a 0 PULSE(0 0.8 1n 10p 10p 2n 4n)\nR1 a 0 1k\n";
+        let c = parse(deck, &ModelLibrary::new()).unwrap();
+        match &c.elements()[0] {
+            crate::netlist::Element::VSource { wave, .. } => {
+                assert_eq!(wave.value_at(2e-9), 0.8);
+                assert_eq!(wave.value_at(0.5e-9), 0.0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sin_with_spaces_before_parens() {
+        let deck = "I1 a 0 SIN (0 1m 1g)\nR1 a 0 1k\n";
+        let c = parse(deck, &ModelLibrary::new()).unwrap();
+        match &c.elements()[0] {
+            crate::netlist::Element::ISource { wave, .. } => match wave {
+                Waveform::Sin { freq, .. } => assert_eq!(*freq, 1e9),
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn model_and_mosfet() {
+        let deck = "\
+.model mynfet nmos (vth0=0.3 kp=300u lambda=0.08)
+VDD d 0 0.8
+VG g 0 0.6
+M1 d g 0 0 mynfet w=2u l=50n dvth=10m
+";
+        let c = parse(deck, &ModelLibrary::new()).unwrap();
+        let fet = c.fets().next().unwrap();
+        assert_eq!(fet.model.vth0, 0.3);
+        assert_eq!(fet.w, 2e-6);
+        assert!((fet.delta_vth - 0.01).abs() < 1e-12);
+        let op = DcSolver::new().solve(&c).unwrap();
+        assert!(op.fet_op("M1").unwrap().id > 0.0);
+    }
+
+    #[test]
+    fn unknown_model_is_reported() {
+        let deck = "M1 d g 0 0 missing w=1u l=50n\n";
+        match parse(deck, &ModelLibrary::new()) {
+            Err(SpiceError::UnknownModel { name }) => assert_eq!(name, "missing"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn subcircuit_expansion() {
+        let deck = "\
+.subckt divider in out
+R1 in out 1k
+R2 out 0 1k
+.ends
+V1 a 0 DC 2
+X1 a b divider
+";
+        let c = parse(deck, &ModelLibrary::new()).unwrap();
+        let op = DcSolver::new().solve(&c).unwrap();
+        let b = c.find_node("b").unwrap();
+        assert!((op.voltage(b) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn nested_subcircuits_any_order() {
+        let deck = "\
+.subckt outer in out
+X1 in mid inner
+X2 mid out inner
+.ends
+.subckt inner a b
+R1 a b 1k
+.ends
+V1 top 0 DC 1
+Xmain top bot outer
+R2 bot 0 2k
+";
+        let c = parse(deck, &ModelLibrary::new()).unwrap();
+        let op = DcSolver::new().solve(&c).unwrap();
+        let bot = c.find_node("bot").unwrap();
+        assert!((op.voltage(bot) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn port_count_mismatch() {
+        let deck = "\
+.subckt d a b
+R1 a b 1k
+.ends
+X1 x d
+";
+        assert!(matches!(
+            parse(deck, &ModelLibrary::new()),
+            Err(SpiceError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_cards_report_line_numbers() {
+        let deck = "V1 a 0 DC 1\nQ1 a b c\n";
+        match parse(deck, &ModelLibrary::new()) {
+            Err(SpiceError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cap_with_ic() {
+        let deck = "C1 a 0 1p ic=0.5\nR1 a 0 1k\n";
+        let c = parse(deck, &ModelLibrary::new()).unwrap();
+        match &c.elements()[0] {
+            crate::netlist::Element::Capacitor { ic, .. } => assert_eq!(*ic, Some(0.5)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

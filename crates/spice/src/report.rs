@@ -1,0 +1,182 @@
+//! Result export: CSV writers for transient/AC traces and a readable
+//! operating-point table — the artifacts an analog designer actually looks
+//! at after a run.
+
+use std::fmt::Write as _;
+
+use crate::analysis::ac::AcResult;
+use crate::analysis::dc::OperatingPoint;
+use crate::analysis::tran::TranResult;
+use crate::netlist::{Circuit, NodeId};
+
+/// Renders a transient result as CSV: `time` followed by one column per
+/// requested node (named by the circuit's node names).
+///
+/// # Panics
+///
+/// Panics if a node id does not belong to `circuit` (caller bug).
+pub fn tran_csv(circuit: &Circuit, result: &TranResult, nodes: &[NodeId]) -> String {
+    let mut out = String::from("time");
+    for &n in nodes {
+        write!(out, ",v({})", circuit.node_name(n)).unwrap();
+    }
+    out.push('\n');
+    let waves: Vec<Vec<f64>> = nodes.iter().map(|&n| result.voltage(n)).collect();
+    for (i, &t) in result.times().iter().enumerate() {
+        write!(out, "{t:e}").unwrap();
+        for w in &waves {
+            write!(out, ",{:e}", w[i]).unwrap();
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders an AC result as CSV: `freq` plus magnitude and phase (degrees)
+/// columns per node.
+///
+/// # Panics
+///
+/// Panics if a node id does not belong to `circuit` (caller bug).
+pub fn ac_csv(circuit: &Circuit, result: &AcResult, nodes: &[NodeId]) -> String {
+    let mut out = String::from("freq");
+    for &n in nodes {
+        let name = circuit.node_name(n);
+        write!(out, ",mag({name}),phase_deg({name})").unwrap();
+    }
+    out.push('\n');
+    for (i, &f) in result.frequencies().iter().enumerate() {
+        write!(out, "{f:e}").unwrap();
+        for &n in nodes {
+            let z = result.phasor(n, i);
+            write!(out, ",{:e},{:.4}", z.norm(), z.arg().to_degrees()).unwrap();
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the operating point as a two-section table: node voltages and
+/// per-FET bias records.
+pub fn op_table(circuit: &Circuit, op: &OperatingPoint) -> String {
+    let mut out = String::from("node voltages\n");
+    let mut rows: Vec<(String, f64)> = (1..circuit.node_count())
+        .map(|i| {
+            let id = crate::netlist::NodeId(i as u32);
+            (circuit.node_name(id).to_string(), op.voltage(id))
+        })
+        .collect();
+    rows.sort_by(|a, b| a.0.cmp(&b.0));
+    for (name, v) in rows {
+        writeln!(out, "  {name:<24} {v:>12.6} V").unwrap();
+    }
+    out.push_str("devices\n");
+    let mut fets: Vec<&String> = op.fet_ops().keys().collect();
+    fets.sort();
+    for name in fets {
+        let f = op.fet_ops()[name];
+        writeln!(
+            out,
+            "  {name:<24} id {:>10.3} µA  gm {:>8.3} mS  gds {:>8.4} mS  vgs {:>7.3}  vds {:>7.3}",
+            f.id * 1e6,
+            f.gm * 1e3,
+            f.gds * 1e3,
+            f.vgs,
+            f.vds
+        )
+        .unwrap();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::ac::{AcSolver, FrequencySweep};
+    use crate::analysis::dc::DcSolver;
+    use crate::analysis::tran::TranSolver;
+    use crate::netlist::Waveform;
+
+    fn rc() -> (Circuit, NodeId, NodeId) {
+        let mut c = Circuit::new();
+        let vin = c.node("vin");
+        let out = c.node("out");
+        c.vsource_wave(
+            "V1",
+            vin,
+            Circuit::GROUND,
+            Waveform::Pulse {
+                v1: 0.0,
+                v2: 1.0,
+                delay: 0.0,
+                rise: 1e-12,
+                fall: 1e-12,
+                width: 1.0,
+                period: f64::INFINITY,
+            },
+            1.0,
+        );
+        c.resistor("R1", vin, out, 1e3).unwrap();
+        c.capacitor("C1", out, Circuit::GROUND, 1e-12).unwrap();
+        (c, vin, out)
+    }
+
+    #[test]
+    fn tran_csv_has_header_and_rows() {
+        let (c, vin, out) = rc();
+        let res = TranSolver::new(1e-10, 1e-8).solve(&c).unwrap();
+        let csv = tran_csv(&c, &res, &[vin, out]);
+        let mut lines = csv.lines();
+        assert_eq!(lines.next().unwrap(), "time,v(vin),v(out)");
+        assert_eq!(csv.lines().count(), res.len() + 1);
+        // Every row has three comma-separated fields.
+        for line in csv.lines().skip(1) {
+            assert_eq!(line.split(',').count(), 3, "bad row {line}");
+        }
+    }
+
+    #[test]
+    fn ac_csv_magnitude_and_phase() {
+        let (c, _, out) = rc();
+        let res = AcSolver::new()
+            .solve(
+                &c,
+                &FrequencySweep::List(vec![1e6, 159.15e6]),
+            )
+            .unwrap();
+        let csv = ac_csv(&c, &res, &[out]);
+        assert!(csv.starts_with("freq,mag(out),phase_deg(out)\n"));
+        assert_eq!(csv.lines().count(), 3);
+        // At the pole frequency the phase is ≈ −45°.
+        let last = csv.lines().last().unwrap();
+        let phase: f64 = last.split(',').nth(2).unwrap().parse().unwrap();
+        assert!((phase + 45.0).abs() < 1.0, "phase {phase}");
+    }
+
+    #[test]
+    fn op_table_lists_nodes_and_devices() {
+        use crate::devices::{FetInstance, FetModel, FetPolarity};
+        let mut c = Circuit::new();
+        let d = c.node("drain");
+        let g = c.node("gate");
+        c.vsource("VD", d, Circuit::GROUND, 0.8);
+        c.vsource("VG", g, Circuit::GROUND, 0.6);
+        c.fet(FetInstance::new(
+            "M1",
+            d,
+            g,
+            Circuit::GROUND,
+            Circuit::GROUND,
+            FetModel::ideal(FetPolarity::Nmos),
+            1e-6,
+            100e-9,
+        ))
+        .unwrap();
+        let op = DcSolver::new().solve(&c).unwrap();
+        let table = op_table(&c, &op);
+        assert!(table.contains("drain"));
+        assert!(table.contains("gate"));
+        assert!(table.contains("M1"));
+        assert!(table.contains("µA"));
+    }
+}

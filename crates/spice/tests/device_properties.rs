@@ -1,0 +1,118 @@
+//! Property-based checks of the FET compact model: the smoothness and
+//! monotonicity properties Newton depends on, over random bias and
+//! geometry.
+
+use proptest::prelude::*;
+
+use prima_spice::devices::{FetInstance, FetModel, FetPolarity};
+use prima_spice::netlist::Circuit;
+
+fn nmos(w_um: f64, l_nm: f64) -> FetInstance {
+    let mut c = Circuit::new();
+    let d = c.node("d");
+    let g = c.node("g");
+    let mut m = FetInstance::new(
+        "M",
+        d,
+        g,
+        Circuit::GROUND,
+        Circuit::GROUND,
+        FetModel::ideal(FetPolarity::Nmos),
+        w_um * 1e-6,
+        l_nm * 1e-9,
+    );
+    m.model.gamma = 0.25;
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The raw-frame partial derivatives match central differences at any
+    /// bias — the property every Newton stamp relies on.
+    #[test]
+    fn partials_match_finite_differences(
+        vd in -0.2f64..1.0,
+        vg in -0.2f64..1.0,
+        vs in -0.2f64..1.0,
+        vb in -0.4f64..0.1,
+        w in 0.1f64..20.0,
+        l in 14.0f64..200.0,
+    ) {
+        let m = nmos(w, l);
+        // Keep away from the exact drain/source crossover where the
+        // one-sided derivative differs by construction.
+        prop_assume!((vd - vs).abs() > 1e-4);
+        let h = 1e-7;
+        let e = m.eval(vd, vg, vs, vb);
+        let fd_d = (m.eval(vd + h, vg, vs, vb).id_raw - m.eval(vd - h, vg, vs, vb).id_raw) / (2.0 * h);
+        let fd_g = (m.eval(vd, vg + h, vs, vb).id_raw - m.eval(vd, vg - h, vs, vb).id_raw) / (2.0 * h);
+        let fd_s = (m.eval(vd, vg, vs + h, vb).id_raw - m.eval(vd, vg, vs - h, vb).id_raw) / (2.0 * h);
+        let scale = fd_d.abs().max(fd_g.abs()).max(fd_s.abs()).max(1e-7);
+        prop_assert!((e.did_dvd - fd_d).abs() / scale < 2e-2, "d: {} vs {}", e.did_dvd, fd_d);
+        prop_assert!((e.did_dvg - fd_g).abs() / scale < 2e-2, "g: {} vs {}", e.did_dvg, fd_g);
+        prop_assert!((e.did_dvs - fd_s).abs() / scale < 2e-2, "s: {} vs {}", e.did_dvs, fd_s);
+    }
+
+    /// Drain current is monotone non-decreasing in V_GS at fixed V_DS > 0.
+    #[test]
+    fn monotone_in_vgs(
+        vd in 0.05f64..1.0,
+        w in 0.1f64..20.0,
+        base in -0.1f64..0.7,
+    ) {
+        let m = nmos(w, 14.0);
+        let lo = m.eval(vd, base, 0.0, 0.0).id_raw;
+        let hi = m.eval(vd, base + 0.05, 0.0, 0.0).id_raw;
+        prop_assert!(hi >= lo - 1e-15);
+    }
+
+    /// Passivity: current never flows against the drain–source voltage
+    /// (no energy generation by the channel).
+    #[test]
+    fn channel_is_passive(
+        vd in -1.0f64..1.0,
+        vg in -0.2f64..1.0,
+        vs in -1.0f64..1.0,
+    ) {
+        let m = nmos(2.0, 14.0);
+        let e = m.eval(vd, vg, vs, vs.min(vd));
+        prop_assert!(e.id_raw * (vd - vs) >= -1e-18, "id {} against vds {}", e.id_raw, vd - vs);
+    }
+
+    /// Width scaling is exactly linear (current density model).
+    #[test]
+    fn current_scales_with_width(
+        vd in 0.1f64..1.0,
+        vg in 0.2f64..1.0,
+        w in 0.1f64..10.0,
+    ) {
+        let m1 = nmos(w, 14.0);
+        let m2 = nmos(2.0 * w, 14.0);
+        let i1 = m1.eval(vd, vg, 0.0, 0.0).id_raw;
+        let i2 = m2.eval(vd, vg, 0.0, 0.0).id_raw;
+        prop_assert!((i2 / i1 - 2.0).abs() < 1e-9);
+    }
+
+    /// Capacitances are non-negative and bounded by the oxide capacitance
+    /// plus overlaps at every bias.
+    #[test]
+    fn caps_are_physical(
+        vd in -0.2f64..1.0,
+        vg in -0.2f64..1.0,
+        vs in -0.2f64..1.0,
+    ) {
+        let mut m = nmos(2.0, 28.0);
+        m.model.cox = 0.03;
+        m.model.cgso = 0.25e-9;
+        m.model.cgdo = 0.25e-9;
+        let caps = m.capacitances(vd, vg, vs, 0.0);
+        let cox_tot = 0.03 * m.w * m.l;
+        let cov = 0.25e-9 * m.w;
+        for (name, c) in [("cgs", caps.cgs), ("cgd", caps.cgd), ("cgb", caps.cgb)] {
+            prop_assert!(c >= 0.0, "{name} negative");
+            prop_assert!(c <= cox_tot + cov + 1e-21, "{name} = {c} too large");
+        }
+        prop_assert!(caps.total() <= 2.0 * (cox_tot + 2.0 * cov) + 1e-21);
+    }
+}

@@ -1,0 +1,99 @@
+//! Explore the layout-option space of any library primitive: enumerate
+//! configurations, rank them by cost, and show the LDE/parasitic reasons.
+//!
+//! Usage: `cargo run --release --example primitive_explorer [name] [fins]`
+//! e.g. `cargo run --release --example primitive_explorer cm_1to8 288`.
+
+use prima_core::{enumerate_configs, Optimizer, Phase};
+use prima_layout::generate;
+use prima_pdk::Technology;
+use prima_primitives::{Bias, Library};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let name = args.get(1).map(String::as_str).unwrap_or("cm");
+    let fins: u64 = args
+        .get(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(192);
+
+    let tech = Technology::finfet7();
+    let lib = Library::standard();
+    let Some(def) = lib.get(name) else {
+        eprintln!("unknown primitive {name}; available:");
+        for d in lib.iter() {
+            eprintln!("  {:<16} {}", d.name, d.description);
+        }
+        std::process::exit(1);
+    };
+    if def.spec.devices.is_empty() {
+        eprintln!("{name} is a passive primitive; it has no FET layout space");
+        std::process::exit(1);
+    }
+
+    let bias = Bias::nominal(&tech, &def.class);
+    let opt = Optimizer::new(&tech);
+    let configs = enumerate_configs(fins, &[2, 3, 4, 6, 8, 12, 16, 24, 32], 8);
+    if configs.is_empty() {
+        eprintln!("{fins} fins cannot be factored into the allowed nfin/nf/m space");
+        std::process::exit(1);
+    }
+    println!(
+        "{name} ({}) at {fins} fins: {} candidates",
+        def.description,
+        configs.len()
+    );
+
+    let sch = opt
+        .schematic_reference(def, &bias, fins)
+        .expect("schematic reference");
+    println!("schematic metrics:");
+    let mut names: Vec<&String> = sch.keys().collect();
+    names.sort();
+    for m in names {
+        println!("  {m:<12} = {:.4e}", sch[m]);
+    }
+
+    let mut rows = Vec::new();
+    for cfg in &configs {
+        let layout = generate(&tech, &def.spec, cfg).expect("generation succeeds");
+        let ar = layout.aspect_ratio();
+        let area = layout.area_um2();
+        let ev = opt
+            .evaluate_layout(def, &bias, layout, &sch, Phase::Selection)
+            .expect("evaluation succeeds");
+        rows.push((*cfg, ar, area, ev.cost, ev.breakdown));
+    }
+    rows.sort_by(|a, b| a.3.partial_cmp(&b.3).expect("finite costs"));
+
+    println!("\nrank  nfin nf  m  pattern   AR    area(µm²)  cost   worst deviation");
+    for (i, (cfg, ar, area, cost, bd)) in rows.iter().enumerate().take(12) {
+        let worst = bd
+            .iter()
+            .max_by(|a, b| {
+                (a.weight * a.deviation_pct)
+                    .partial_cmp(&(b.weight * b.deviation_pct))
+                    .expect("finite")
+            })
+            .expect("non-empty breakdown");
+        println!(
+            "{:>4}  {:<4} {:<3} {:<2} {:<8} {:>5.2}  {:>8.2}  {:>6.2}  Δ{} = {:.2}%",
+            i + 1,
+            cfg.nfin,
+            cfg.nf,
+            cfg.m,
+            cfg.pattern.to_string(),
+            ar,
+            area,
+            cost,
+            worst.metric,
+            worst.deviation_pct
+        );
+    }
+    println!(
+        "\n{} simulations ({} metrics × {} layouts + reference)",
+        opt.counter().total(),
+        def.metrics.len(),
+        configs.len()
+    );
+}

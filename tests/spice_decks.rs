@@ -1,0 +1,149 @@
+//! Integration tests for the SPICE text front end: decks that exercise the
+//! parser, the PDK model cards, and all three analyses together.
+
+use prima_spice::analysis::ac::{AcSolver, FrequencySweep};
+use prima_spice::analysis::dc::DcSolver;
+use prima_spice::analysis::tran::TranSolver;
+use prima_spice::measure;
+use prima_spice::netlist::{parse, ModelLibrary};
+use prima_pdk::Technology;
+
+/// Registers the PDK's device flavors under SPICE-style names.
+fn pdk_models() -> ModelLibrary {
+    let tech = Technology::finfet7();
+    let mut lib = ModelLibrary::new();
+    lib.insert("nfet", tech.nmos.clone());
+    lib.insert("pfet", tech.pmos.clone());
+    lib
+}
+
+#[test]
+fn inverter_deck_dc_transfer() {
+    let deck = "\
+* CMOS inverter from the PDK flavors
+VDD vdd 0 0.8
+VIN in 0 0.2
+MN out in 0 0 nfet w=0.5u l=14n
+MP out in vdd vdd pfet w=1u l=14n
+.end
+";
+    let c = parse(deck, &pdk_models()).unwrap();
+    let op = DcSolver::new().solve(&c).unwrap();
+    let out = c.find_node("out").unwrap();
+    assert!(op.voltage(out) > 0.6, "low input gives high output");
+}
+
+#[test]
+fn five_transistor_ota_deck() {
+    // The paper's 5T OTA, written as a plain SPICE deck with subcircuits.
+    let deck = "\
+.subckt dp da db ga gb s
+MA da ga s 0 nfet w=4.6u l=14n
+MB db gb s 0 nfet w=4.6u l=14n
+.ends
+.subckt cmn in out
+MREF in in 0 0 nfet w=1.2u l=14n
+MOUT out in 0 0 nfet w=2.4u l=14n
+.ends
+.subckt cmp in out vdd
+MREF in in vdd vdd pfet w=1.8u l=14n
+MOUT out in vdd vdd pfet w=1.8u l=14n
+.ends
+VDD vdd 0 0.8
+VINP vinp 0 DC 0.44 AC 0.5
+VINN vinn 0 DC 0.44 AC -0.5
+IB 0 n1 350u
+X1 n4 n5 vinp vinn n3 dp
+X2 n1 n3 cmn
+X3 n4 n5 vdd cmp
+CL n5 0 60f
+.end
+";
+    let c = parse(deck, &pdk_models()).unwrap();
+    let op = DcSolver::new().solve(&c).unwrap();
+    let n5 = c.find_node("n5").unwrap();
+    let vout = op.voltage(n5);
+    assert!(vout > 0.1 && vout < 0.79, "output in range: {vout}");
+
+    let ac = AcSolver::new()
+        .solve_at_op(
+            &c,
+            &op,
+            &FrequencySweep::Decade {
+                start: 1e5,
+                stop: 100e9,
+                points_per_decade: 20,
+            },
+        )
+        .unwrap();
+    let gain = measure::dc_gain(&ac, n5);
+    assert!(gain > 3.0, "OTA gain {gain}");
+    assert!(measure::unity_gain_freq(&ac, n5).is_some());
+}
+
+#[test]
+fn ring_oscillator_deck_transient() {
+    // Three-inverter ring with a PWL kick, from text.
+    let deck = "\
+.subckt inv in out vdd
+MN out in 0 0 nfet w=0.3u l=14n
+MP out in vdd vdd pfet w=0.6u l=14n
+C1 out 0 1f
+.ends
+VDD vdd 0 0.8
+X1 a b vdd inv
+X2 b c vdd inv
+X3 c a vdd inv
+IKICK 0 a PWL(0 0 10p 100u 60p 100u 70p 0)
+.end
+";
+    let c = parse(deck, &pdk_models()).unwrap();
+    let res = TranSolver::new(0.5e-12, 3e-9).solve(&c).unwrap();
+    let a = c.find_node("a").unwrap();
+    let wave = res.voltage(a);
+    let t = res.times().to_vec();
+    let swing = measure::settled_peak_to_peak(&wave);
+    assert!(swing > 0.5, "ring oscillates with swing {swing}");
+    let f = measure::osc_frequency(&t, &wave, 5).expect("frequency measurable");
+    assert!(f > 1e9 && f < 1e12, "ring frequency {f}");
+}
+
+#[test]
+fn rc_ladder_deck_matches_analytic_bandwidth() {
+    let deck = "\
+VIN in 0 DC 0 AC 1
+R1 in m1 1k
+C1 m1 0 100f
+R2 m1 out 1k
+C2 out 0 100f
+.end
+";
+    let c = parse(deck, &pdk_models()).unwrap();
+    let ac = AcSolver::new()
+        .solve(
+            &c,
+            &FrequencySweep::Decade {
+                start: 1e6,
+                stop: 1e12,
+                points_per_decade: 30,
+            },
+        )
+        .unwrap();
+    let out = c.find_node("out").unwrap();
+    let f3 = measure::bw_3db(&ac, out).unwrap();
+    // Two-section ladder: f3dB ≈ 0.374/(2πRC) for equal sections.
+    let rc = 1e3 * 100e-15;
+    let expect = 0.374 / (2.0 * std::f64::consts::PI * rc);
+    assert!(
+        (f3 - expect).abs() / expect < 0.05,
+        "ladder f3dB {f3} vs {expect}"
+    );
+}
+
+#[test]
+fn malformed_decks_are_rejected_cleanly() {
+    let bad = ["R1 a 0 notanumber\n", "M1 d g s b missingmodel w=1u l=14n\n", "X1 a b nosub\n"];
+    for deck in bad {
+        assert!(parse(deck, &pdk_models()).is_err(), "deck should fail: {deck}");
+    }
+}
