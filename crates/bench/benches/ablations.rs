@@ -1,6 +1,8 @@
 //! Ablation kernels: LDE on/off selection, joint vs independent tuning,
 //! and reconciliation policies.
 
+#![allow(clippy::unwrap_used)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use prima_core::{enumerate_configs, reconcile, Optimizer, PortConstraint};
 use prima_layout::{generate, CellConfig, PlacementPattern};
@@ -23,7 +25,11 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablations");
     g.sample_size(10);
     g.bench_function("selection_with_lde", |b| {
-        b.iter(|| Optimizer::new(&tech).select(dp, &bias, &configs, 3).unwrap())
+        b.iter(|| {
+            Optimizer::new(&tech)
+                .select(dp, &bias, &configs, 3)
+                .unwrap()
+        })
     });
     g.bench_function("selection_without_lde", |b| {
         b.iter(|| {

@@ -1,6 +1,8 @@
 //! Fig. 2 / Table I kernel: the common-source-amplifier circuit testbench
 //! (DC + AC sweep + measurements) that every wire-width row re-runs.
 
+#![allow(clippy::unwrap_used)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use prima_flow::circuits::CsAmp;
 use prima_flow::Realization;
@@ -18,7 +20,10 @@ fn bench(c: &mut Criterion) {
     let mut wired = Realization::schematic();
     wired.net_wires.insert(
         "vout".to_string(),
-        ExternalWire { r_ohm: 200.0, c_f: 1e-15 },
+        ExternalWire {
+            r_ohm: 200.0,
+            c_f: 1e-15,
+        },
     );
     g.bench_function("cs_amp_measure_wired", |b| {
         b.iter(|| CsAmp::measure(&tech, &lib, &wired).unwrap())

@@ -1,5 +1,7 @@
 //! Fig. 5 kernel: primitive cell generation across the nfin/nf/m space.
 
+#![allow(clippy::unwrap_used)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use prima_layout::{generate, CellConfig, PlacementPattern};
 use prima_pdk::Technology;

@@ -1,6 +1,8 @@
 //! Table III kernel: one full three-metric evaluation of a DP layout
 //! candidate (the unit of work the selection phase parallelizes).
 
+#![allow(clippy::unwrap_used)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use prima_layout::{generate, CellConfig, PlacementPattern};
 use prima_pdk::Technology;

@@ -1,6 +1,8 @@
 //! Table IV kernel: one port-constraint sweep point (primitive evaluated
 //! with global-route RC attached).
 
+#![allow(clippy::unwrap_used)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use prima_core::{route_wire, GlobalRoute};
 use prima_pdk::Technology;
@@ -12,7 +14,11 @@ fn bench(c: &mut Criterion) {
     let lib = Library::standard();
     let dp = lib.get("dp").unwrap();
     let bias = Bias::nominal(&tech, &dp.class);
-    let route = GlobalRoute { layer: 3, len_nm: 2000, via_ends: 2 };
+    let route = GlobalRoute {
+        layer: 3,
+        len_nm: 2000,
+        via_ends: 2,
+    };
     let mut ext = HashMap::new();
     for net in ["da", "db"] {
         ext.insert(net.to_string(), route_wire(&tech, &route, 3));

@@ -1,6 +1,8 @@
 //! Table V kernel: a full Algorithm 1 selection pass (parallel candidate
 //! fan-out included).
 
+#![allow(clippy::unwrap_used)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use prima_core::{enumerate_configs, Optimizer};
 use prima_pdk::Technology;

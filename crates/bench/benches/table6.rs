@@ -1,5 +1,7 @@
 //! Table VI kernels: OTA circuit measurement and the conventional flow.
 
+#![allow(clippy::unwrap_used)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use prima_flow::circuits::FiveTOta;
 use prima_flow::{conventional_flow, Realization};

@@ -1,6 +1,8 @@
 //! Table VII kernel: one VCO transient frequency measurement (reduced
 //! four-stage ring).
 
+#![allow(clippy::unwrap_used)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use prima_flow::circuits::RoVco;
 use prima_flow::Realization;

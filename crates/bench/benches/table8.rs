@@ -1,5 +1,7 @@
 //! Table VIII kernel: the full optimized flow on the smallest circuit.
 
+#![allow(clippy::unwrap_used)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use prima_flow::circuits::CsAmp;
 use prima_flow::optimized_flow;

@@ -6,13 +6,24 @@
 //!   cargo run --release -p prima-bench --bin report -- fast    # skip slow rows
 //!
 //! Exhibits: fig2 (≡ table1), table2, fig3, fig5, table3, table4, fig6,
-//! table5, table6, table7, table8, ablations.
+//! table5, table6, table7, table8, ablations, verify.
 
 use prima_bench::*;
 
 const EXHIBITS: &[&str] = &[
-    "fig2", "table2", "fig3", "fig5", "table3", "table4", "fig6", "table5", "table6", "table7",
-    "table8", "ablations",
+    "fig2",
+    "table2",
+    "fig3",
+    "fig5",
+    "table3",
+    "table4",
+    "fig6",
+    "table5",
+    "table6",
+    "table7",
+    "table8",
+    "ablations",
+    "verify",
 ];
 
 fn main() {
@@ -74,5 +85,8 @@ fn main() {
     }
     if run("ablations") {
         println!("{}", ablations(&env));
+    }
+    if run("verify") {
+        println!("{}", verify_summary(&env));
     }
 }

@@ -129,7 +129,12 @@ mod tests {
 
     #[test]
     fn noise_floor_offset_counts_as_zero_schematic() {
-        let metrics = vec![Metric::with_spec("offset", MetricKind::InputOffset, 1.0, 2e-4)];
+        let metrics = vec![Metric::with_spec(
+            "offset",
+            MetricKind::InputOffset,
+            1.0,
+            2e-4,
+        )];
         let mut sch = HashMap::new();
         // Bisection noise: ~1e-9 V instead of exactly 0.
         sch.insert("offset".to_string(), 1.2e-9);

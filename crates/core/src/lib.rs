@@ -35,6 +35,7 @@
 //! assert!(tuned.cost <= picks[0].cost);
 //! ```
 
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 #![forbid(unsafe_code)]
 
 pub mod accounting;

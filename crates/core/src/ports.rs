@@ -110,7 +110,13 @@ impl<'t> Optimizer<'t> {
             Some(l) => LayoutView::Layout(l),
             None => LayoutView::Schematic { total_fins },
         };
-        let sch = evaluate_all(self.tech(), def, view_sch(total_fins), bias, &Default::default())?;
+        let sch = evaluate_all(
+            self.tech(),
+            def,
+            view_sch(total_fins),
+            bias,
+            &Default::default(),
+        )?;
         self.counter()
             .record(Phase::PortConstraints, def.metrics.len());
 
@@ -275,7 +281,7 @@ mod tests {
         let costs = [5.17, 4.40, 4.23, 4.21, 4.25, 4.33, 4.42];
         let (w_min, w_max) = interval_from_costs(&costs);
         assert_eq!(w_max, Some(5));
-        assert!(w_min >= 2 && w_min <= 4, "w_min = {w_min}");
+        assert!((2..=4).contains(&w_min), "w_min = {w_min}");
     }
 
     #[test]
@@ -354,9 +360,7 @@ mod tests {
                 via_ends: 2,
             },
         );
-        let cons = opt
-            .port_constraints(dp, &bias, None, 960, &routes)
-            .unwrap();
+        let cons = opt.port_constraints(dp, &bias, None, 960, &routes).unwrap();
         assert_eq!(cons.len(), 1);
         let c = &cons[0];
         assert_eq!(c.net, "da");

@@ -221,10 +221,7 @@ mod tests {
             .count();
         assert_eq!(taps, 2);
         assert!(c.find_node("vout@m1").is_some());
-        assert!(c
-            .elements()
-            .iter()
-            .any(|e| e.name() == "Croute_vout"));
+        assert!(c.elements().iter().any(|e| e.name() == "Croute_vout"));
     }
 
     #[test]
@@ -257,12 +254,7 @@ mod tests {
             build_circuit(&tech, &lib, &bad, &Realization::schematic()),
             Err(FlowError::UnknownPrimitive { .. })
         ));
-        let bad_port = vec![PrimitiveInst::new(
-            "x",
-            "cs_amp",
-            8,
-            &[("nonport", "n1")],
-        )];
+        let bad_port = vec![PrimitiveInst::new("x", "cs_amp", 8, &[("nonport", "n1")])];
         assert!(matches!(
             build_circuit(&tech, &lib, &bad_port, &Realization::schematic()),
             Err(FlowError::BadConnection { .. })
@@ -285,8 +277,7 @@ mod tests {
         let mut real = Realization::schematic();
         real.layouts.insert("m1".to_string(), layout);
         let with = build_circuit(&tech, &lib, &insts, &real).unwrap();
-        let without =
-            build_circuit(&tech, &lib, &insts, &Realization::schematic()).unwrap();
+        let without = build_circuit(&tech, &lib, &insts, &Realization::schematic()).unwrap();
         assert!(with.elements().len() > without.elements().len());
     }
 }

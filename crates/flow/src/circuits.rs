@@ -136,8 +136,18 @@ mod tests {
         let spec = CircuitSpec {
             name: "t".into(),
             instances: vec![
-                PrimitiveInst::new("a", "cs_amp", 8, &[("out", "n1"), ("in", "n2"), ("vss", "g")]),
-                PrimitiveInst::new("b", "csrc_pmos", 8, &[("out", "n1"), ("vb", "n3"), ("vdd", "vdd")]),
+                PrimitiveInst::new(
+                    "a",
+                    "cs_amp",
+                    8,
+                    &[("out", "n1"), ("in", "n2"), ("vss", "g")],
+                ),
+                PrimitiveInst::new(
+                    "b",
+                    "csrc_pmos",
+                    8,
+                    &[("out", "n1"), ("vb", "n3"), ("vdd", "vdd")],
+                ),
             ],
             symmetry: vec![],
             symmetric_nets: vec![],

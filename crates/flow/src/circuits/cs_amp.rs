@@ -153,7 +153,9 @@ impl CsAmp {
             .set_v("vout", vout)
             .set_load("out", Self::C_LOAD);
         let mut m2 = Bias::nominal(tech, &lib.get("csrc_pmos").expect("csrc_pmos").class);
-        m2.set_v("vb", vbp).set_v("vout", vout).set_i("ref", current);
+        m2.set_v("vb", vbp)
+            .set_v("vout", vout)
+            .set_i("ref", current);
         let mut out = HashMap::new();
         out.insert("m1".to_string(), m1);
         out.insert("m2".to_string(), m2);
@@ -191,7 +193,11 @@ mod tests {
         let m = CsAmp::measure(&tech, &lib, &Realization::schematic()).unwrap();
         assert!(m.gain_db > 6.0 && m.gain_db < 40.0, "gain {}", m.gain_db);
         assert!(m.ugf_ghz > 0.5 && m.ugf_ghz < 100.0, "ugf {}", m.ugf_ghz);
-        assert!(m.current_ua > 20.0 && m.current_ua < 2000.0, "I {}", m.current_ua);
+        assert!(
+            m.current_ua > 20.0 && m.current_ua < 2000.0,
+            "I {}",
+            m.current_ua
+        );
         // Power = I × VDD.
         assert!((m.power_uw - m.current_ua * tech.vdd).abs() < 1e-6);
     }

@@ -27,7 +27,11 @@ pub struct StrongArmMetrics {
 
 impl fmt::Display for StrongArmMetrics {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "delay {:.1} ps, power {:.1} µW", self.delay_ps, self.power_uw)
+        write!(
+            f,
+            "delay {:.1} ps, power {:.1} µW",
+            self.delay_ps, self.power_uw
+        )
     }
 }
 
@@ -193,11 +197,9 @@ impl StrongArm {
         })?;
         let delay = t_dec - t_clk2;
 
-        let isup = res
-            .branch_current("VDD")
-            .ok_or(FlowError::Measurement {
-                what: "no supply branch".to_string(),
-            })?;
+        let isup = res.branch_current("VDD").ok_or(FlowError::Measurement {
+            what: "no supply branch".to_string(),
+        })?;
         let i_abs: Vec<f64> = isup.iter().map(|x| x.abs()).collect();
         let power = measure::average(&t, &i_abs, 0.2e-9 + period, 0.2e-9 + 2.0 * period) * vdd;
 
@@ -244,6 +246,10 @@ mod tests {
             "delay {} ps",
             m.delay_ps
         );
-        assert!(m.power_uw > 5.0 && m.power_uw < 2000.0, "power {}", m.power_uw);
+        assert!(
+            m.power_uw > 5.0 && m.power_uw < 2000.0,
+            "power {}",
+            m.power_uw
+        );
     }
 }

@@ -128,9 +128,7 @@ impl RoVco {
             ));
             symmetry.push((format!("csip{i}"), format!("csin{i}")));
         }
-        let symmetric_nets = (0..n)
-            .map(|i| (format!("p{i}"), format!("n{i}")))
-            .collect();
+        let symmetric_nets = (0..n).map(|i| (format!("p{i}"), format!("n{i}"))).collect();
         CircuitSpec {
             name: "rovco".to_string(),
             instances,
@@ -175,12 +173,7 @@ impl RoVco {
         for i in 0..self.stages {
             for phase in ["p", "n"] {
                 let node = c.find_node(&format!("{phase}{i}")).expect("phase net");
-                c.capacitor(
-                    &format!("CSTG_{phase}{i}"),
-                    node,
-                    Circuit::GROUND,
-                    3e-15,
-                )?;
+                c.capacitor(&format!("CSTG_{phase}{i}"), node, Circuit::GROUND, 3e-15)?;
             }
         }
 
@@ -263,7 +256,10 @@ impl RoVco {
             .iter()
             .map(|(_, f)| *f)
             .fold(f64::INFINITY, f64::min);
-        let v_lo = oscillating.iter().map(|(v, _)| *v).fold(f64::INFINITY, f64::min);
+        let v_lo = oscillating
+            .iter()
+            .map(|(v, _)| *v)
+            .fold(f64::INFINITY, f64::min);
         let v_hi = oscillating.iter().map(|(v, _)| *v).fold(0.0, f64::max);
         Ok(VcoMetrics {
             f_max_ghz: f_max,
@@ -274,7 +270,11 @@ impl RoVco {
     }
 
     /// Per-primitive bias conditions (mid-range control point).
-    pub fn biases(&self, tech: &Technology, lib: &Library) -> Result<HashMap<String, Bias>, FlowError> {
+    pub fn biases(
+        &self,
+        tech: &Technology,
+        lib: &Library,
+    ) -> Result<HashMap<String, Bias>, FlowError> {
         let (vbn, vbp) = Self::control_to_bias(tech, 0.35);
         let mut out = HashMap::new();
         for inst in self.spec().instances {

@@ -9,15 +9,19 @@
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
-use prima_core::{enumerate_configs, reconcile, route_wire, GlobalRoute, Optimizer, Phase, PortConstraint};
+use prima_core::{
+    enumerate_configs, reconcile, route_wire, GlobalRoute, Optimizer, Phase, PortConstraint,
+};
 use prima_geom::Point;
-use prima_layout::{generate, CellConfig, PlacementPattern, PrimitiveLayout};
+use prima_layout::{generate, render, CellConfig, PlacementPattern, PrimitiveLayout};
 use prima_pdk::Technology;
 use prima_place::{Block, Net, PlacementProblem, Placer};
 use prima_primitives::{Bias, Library};
 use prima_route::detail::{DetailRouter, DetailedResult};
 use prima_route::power::{synthesize, PowerGridSpec};
 use prima_route::{GlobalRouter, RoutingProblem, RoutingResult};
+use prima_verify::lints::{LintInputs, PortInterval};
+use prima_verify::{check_flow, CellArtifact, FlowArtifacts, VerifyReport};
 use serde::{Deserialize, Serialize};
 
 use crate::builder::Realization;
@@ -38,6 +42,30 @@ pub enum FlowKind {
     Manual,
 }
 
+/// When the static verification gate (prima-verify) runs after a flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum VerifyPolicy {
+    /// Verify in debug builds (the default for tests); skip in release so
+    /// benchmarking measures the flow alone. Opt in with [`VerifyPolicy::On`].
+    #[default]
+    Auto,
+    /// Always verify; any violation fails the flow.
+    On,
+    /// Never verify.
+    Off,
+}
+
+impl VerifyPolicy {
+    /// Whether the gate runs under this policy in the current build.
+    pub fn enabled(self) -> bool {
+        match self {
+            VerifyPolicy::Auto => cfg!(debug_assertions),
+            VerifyPolicy::On => true,
+            VerifyPolicy::Off => false,
+        }
+    }
+}
+
 /// Switches for ablating individual steps of the optimized flow.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FlowOptions {
@@ -46,6 +74,8 @@ pub struct FlowOptions {
     /// Run Algorithm 2 (port-constraint generation + reconciliation);
     /// disabled, every route keeps a single wire.
     pub port_optimization: bool,
+    /// Static DRC/LVS/lint gate policy.
+    pub verify: VerifyPolicy,
 }
 
 impl Default for FlowOptions {
@@ -53,6 +83,7 @@ impl Default for FlowOptions {
         FlowOptions {
             tuning: true,
             port_optimization: true,
+            verify: VerifyPolicy::default(),
         }
     }
 }
@@ -76,6 +107,10 @@ pub struct FlowOutcome {
     /// parallel-route widths, per the paper's hand-off to the detailed
     /// router).
     pub detailed: DetailedResult,
+    /// Static verification report, when the gate ran (see
+    /// [`FlowOptions::verify`]). A populated report here is always clean —
+    /// violations abort the flow with [`FlowError::Verify`].
+    pub verify: Option<VerifyReport>,
 }
 
 /// Fallback supply-rail series resistance when the power grid cannot be
@@ -122,7 +157,11 @@ fn config_space(total_fins: u64) -> Vec<CellConfig> {
 /// blocked pattern whose cell is closest to square — geometric constraints
 /// met (a layout tool always targets compact, near-square cells), but no
 /// electrical evaluation of any kind.
-fn default_config(tech: &Technology, spec: &prima_layout::PrimitiveSpec, total_fins: u64) -> Option<CellConfig> {
+fn default_config(
+    tech: &Technology,
+    spec: &prima_layout::PrimitiveSpec,
+    total_fins: u64,
+) -> Option<CellConfig> {
     let mut configs = config_space(total_fins);
     configs.retain(|c| c.pattern == PlacementPattern::Aabb);
     // Geometry-only flows skip the LDE countermeasures: no edge dummies
@@ -141,7 +180,7 @@ fn default_config(tech: &Technology, spec: &prima_layout::PrimitiveSpec, total_f
                 })
                 .unwrap_or(f64::INFINITY)
         };
-        ar(a).partial_cmp(&ar(b)).expect("finite aspect ratios")
+        ar(a).total_cmp(&ar(b))
     });
     configs.first().copied()
 }
@@ -246,12 +285,13 @@ pub fn conventional_flow(
     }
 
     // Flat placement: one block per transistor.
-    let (placement_area, routing, (bbox, rects)) = flat_place_and_route(tech, lib, spec, seed)?;
-    let blocks: Vec<(prima_geom::Rect, f64)> = rects
+    let placed = flat_place_and_route(tech, lib, spec, seed)?;
+    let blocks: Vec<(prima_geom::Rect, f64)> = placed
+        .rects
         .iter()
         .map(|(_, r)| (*r, block_current(None)))
         .collect();
-    let supply_r = supply_resistance(tech, spec, &HashMap::new(), &blocks, bbox);
+    let supply_r = supply_resistance(tech, spec, &HashMap::new(), &blocks, placed.bbox);
 
     // Single-wire routes everywhere: k = 1.
     let mut net_wires = HashMap::new();
@@ -259,7 +299,7 @@ pub fn conventional_flow(
         if is_power_net(&net) {
             continue;
         }
-        if let Some(route) = routing.net(&net) {
+        if let Some(route) = placed.routing.net(&net) {
             let gr = GlobalRoute {
                 layer: route.dominant_layer(),
                 len_nm: route.total_len_nm(),
@@ -270,10 +310,37 @@ pub fn conventional_flow(
     }
 
     let detailed = DetailRouter::new(tech)
-        .assign_with_symmetry(routing.routes(), &HashMap::new(), &spec.symmetric_nets)
+        .assign_with_symmetry(
+            placed.routing.routes(),
+            &HashMap::new(),
+            &spec.symmetric_nets,
+        )
         .map_err(|e| FlowError::Measurement {
             what: format!("detailed routing failed: {e}"),
         })?;
+
+    // Verification gate: the flat flow has no rendered cell masks (blocks
+    // are abstract per-transistor footprints), so the pass covers
+    // placement legality, routing DRC, and connectivity.
+    let verify = if FlowOptions::default().verify.enabled() {
+        let mut artifacts = FlowArtifacts::new(&spec.name, tech);
+        artifacts.cells = placed
+            .rects
+            .iter()
+            .map(|(name, r)| CellArtifact {
+                instance: name.clone(),
+                outline: *r,
+                geometry: None,
+            })
+            .collect();
+        artifacts.pins = placed.pins.clone();
+        artifacts.routing = Some(&placed.routing);
+        artifacts.detailed = Some(&detailed);
+        artifacts.expected_nets = placed.pins.iter().map(|(n, _)| n.clone()).collect();
+        Some(gate(check_flow(&artifacts))?)
+    } else {
+        None
+    };
 
     Ok(FlowOutcome {
         kind: FlowKind::Conventional,
@@ -284,10 +351,25 @@ pub fn conventional_flow(
         },
         runtime: start.elapsed(),
         sims: HashMap::new(),
-        area_um2: placement_area,
-        wirelength_um: routing.total_wirelength() as f64 / 1000.0,
+        area_um2: placed.area_um2,
+        wirelength_um: placed.routing.total_wirelength() as f64 / 1000.0,
         detailed,
+        verify,
     })
+}
+
+/// Turns a dirty verification report into a flow error; clean reports pass
+/// through for the outcome.
+fn gate(report: VerifyReport) -> Result<VerifyReport, FlowError> {
+    if report.is_clean() {
+        Ok(report)
+    } else {
+        Err(FlowError::Verify {
+            circuit: report.circuit.clone(),
+            violations: report.violations.len(),
+            first: report.violations[0].to_string(),
+        })
+    }
 }
 
 /// Shared optimized/manual implementation.
@@ -352,10 +434,7 @@ fn run_flow(
         // Quality guard: the placer chooses among these by geometry alone,
         // so drop aspect-ratio options whose cost is far off the best —
         // they would let a pathological bin winner into the layout.
-        let best = tuned
-            .iter()
-            .map(|(_, c)| *c)
-            .fold(f64::INFINITY, f64::min);
+        let best = tuned.iter().map(|(_, c)| *c).fold(f64::INFINITY, f64::min);
         let mut kept: Vec<PrimitiveLayout> = tuned
             .iter()
             .filter(|(_, c)| *c <= (2.0 * best).max(best + 5.0))
@@ -369,9 +448,11 @@ fn run_flow(
             // hand-fits the floorplan around it.
             let best_layout = tuned
                 .iter()
-                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite costs"))
+                .min_by(|a, b| a.1.total_cmp(&b.1))
                 .map(|(l, _)| l.clone())
-                .expect("at least one tuned option");
+                .ok_or_else(|| FlowError::NoCandidates {
+                    instance: inst.name.clone(),
+                })?;
             kept = vec![best_layout];
         }
         memo.push((inst.def.clone(), inst.total_fins, bias, kept.clone()));
@@ -379,13 +460,14 @@ fn run_flow(
     }
 
     // ---- Place (variant selection) and global-route -----------------------
-    let (placement_area, routing, chosen, (bbox, rects)) =
-        place_and_route(tech, spec, &cell_options, seed)?;
-    let blocks: Vec<(prima_geom::Rect, f64)> = rects
+    let placed = place_and_route(tech, spec, &cell_options, seed)?;
+    let (routing, chosen) = (&placed.routing, &placed.chosen);
+    let blocks: Vec<(prima_geom::Rect, f64)> = placed
+        .rects
         .iter()
         .map(|(name, r)| (*r, block_current(biases.get(name))))
         .collect();
-    let supply_r = supply_resistance(tech, spec, biases, &blocks, bbox);
+    let supply_r = supply_resistance(tech, spec, biases, &blocks, placed.bbox);
 
     // ---- Algorithm 2: port constraints + reconciliation -------------------
     let mut per_net: HashMap<String, Vec<PortConstraint>> = HashMap::new();
@@ -431,10 +513,13 @@ fn run_flow(
         for c in cons {
             // Back-map the port name to the circuit net.
             if let Some(net) = inst.net_of(&c.net) {
-                per_net.entry(net.to_string()).or_default().push(PortConstraint {
-                    net: net.to_string(),
-                    ..c
-                });
+                per_net
+                    .entry(net.to_string())
+                    .or_default()
+                    .push(PortConstraint {
+                        net: net.to_string(),
+                        ..c
+                    });
             }
         }
     }
@@ -471,19 +556,114 @@ fn run_flow(
             what: format!("detailed routing failed: {e}"),
         })?;
 
+    // ---- Static verification gate (DRC + LVS-lite + lints) ----------------
+    let verify = if options.verify.enabled() {
+        let outline_of: HashMap<&str, prima_geom::Rect> =
+            placed.rects.iter().map(|(n, r)| (n.as_str(), *r)).collect();
+        let mut artifacts = FlowArtifacts::new(&spec.name, tech);
+        for inst in &spec.instances {
+            let Some(&outline) = outline_of.get(inst.name.as_str()) else {
+                continue;
+            };
+            // Re-render the chosen variant's mask geometry; the DRC pass
+            // checks the drawn rectangles, not the parasitic model.
+            let geometry = chosen.get(&inst.name).and_then(|layout| {
+                lib.get(&inst.def)
+                    .and_then(|def| render(tech, &def.spec, &layout.config).ok())
+            });
+            artifacts.cells.push(CellArtifact {
+                instance: inst.name.clone(),
+                outline,
+                geometry,
+            });
+        }
+        artifacts.pins = placed.pins.clone();
+        artifacts.routing = Some(routing);
+        artifacts.detailed = Some(&detailed);
+        artifacts.expected_nets = placed.pins.iter().map(|(n, _)| n.clone()).collect();
+        artifacts.lints = LintInputs {
+            metric_weights: {
+                let mut seen_defs: Vec<&str> = Vec::new();
+                let mut weights = Vec::new();
+                for inst in &spec.instances {
+                    let Some(def) = lib.get(&inst.def) else {
+                        continue;
+                    };
+                    if seen_defs.contains(&def.name.as_str()) {
+                        continue;
+                    }
+                    seen_defs.push(&def.name);
+                    for m in &def.metrics {
+                        weights.push((format!("{}.{}", def.name, m.name), m.weight));
+                    }
+                }
+                weights
+            },
+            aspect_candidates: cell_options
+                .values()
+                .flatten()
+                .map(|l| l.aspect_ratio())
+                .collect(),
+            n_bins,
+            ports: if options.port_optimization {
+                port_intervals(&per_net, &widths)
+            } else {
+                Vec::new()
+            },
+        };
+        Some(gate(check_flow(&artifacts))?)
+    } else {
+        None
+    };
+
     Ok(FlowOutcome {
         kind,
         realization: Realization {
-            layouts: chosen,
+            layouts: placed.chosen,
             net_wires,
             supply_r_ohm: supply_r,
         },
         runtime: start.elapsed(),
         sims,
-        area_um2: placement_area,
-        wirelength_um: routing.total_wirelength() as f64 / 1000.0,
+        area_um2: placed.area_um2,
+        wirelength_um: placed.routing.total_wirelength() as f64 / 1000.0,
         detailed,
+        verify,
     })
+}
+
+/// Folds each net's port constraints into lint intervals: when the
+/// intervals intersect, the reconciled width must lie in the intersection;
+/// disjoint intervals (the Algorithm-2 cost-sum fallback) are checked
+/// individually for well-formedness only.
+fn port_intervals(
+    per_net: &HashMap<String, Vec<PortConstraint>>,
+    widths: &HashMap<String, u32>,
+) -> Vec<PortInterval> {
+    let mut out = Vec::new();
+    for (net, constraints) in per_net {
+        let lo = constraints.iter().map(|c| c.w_min).max().unwrap_or(1);
+        let hi = constraints.iter().filter_map(|c| c.w_max).min();
+        let overlapped = hi.is_none_or(|h| lo <= h);
+        if overlapped {
+            out.push(PortInterval {
+                net: net.clone(),
+                w_min: lo,
+                w_max: hi,
+                reconciled: widths.get(net).copied(),
+            });
+        } else {
+            for c in constraints {
+                out.push(PortInterval {
+                    net: net.clone(),
+                    w_min: c.w_min,
+                    w_max: c.w_max,
+                    reconciled: None,
+                });
+            }
+        }
+    }
+    out
 }
 
 /// Flat (transistor-level) placement and routing for the conventional
@@ -494,7 +674,7 @@ fn flat_place_and_route(
     lib: &Library,
     spec: &CircuitSpec,
     seed: u64,
-) -> Result<(f64, RoutingResult, PlacedGeometry), FlowError> {
+) -> Result<PlacedDesign, FlowError> {
     let mut problem = PlacementProblem::new();
     // (instance, device) blocks plus which net each block's terminals use.
     let mut block_nets: Vec<Vec<String>> = Vec::new();
@@ -510,10 +690,8 @@ fn flat_place_and_route(
             // A lone transistor block: square-ish footprint from its fin
             // count on the technology grid.
             let fins = (inst.total_fins * d.ratio as u64).max(1);
-            let area_nm2 = fins as f64
-                * tech.fin.fin_pitch as f64
-                * tech.fin.poly_pitch as f64
-                * 2.0;
+            let area_nm2 =
+                fins as f64 * tech.fin.fin_pitch as f64 * tech.fin.poly_pitch as f64 * 2.0;
             let side = (area_nm2.sqrt() as i64).max(200);
             let ix = problem.add_block(Block::new(
                 &format!("{}::{}", inst.name, d.name),
@@ -545,6 +723,7 @@ fn flat_place_and_route(
     let area = placement.bbox(&problem).area() as f64 * 1e-6;
 
     let mut routing_problem = RoutingProblem::new();
+    let mut net_pins: Vec<(String, Vec<Point>)> = Vec::new();
     for net in spec.nets() {
         if is_power_net(&net) {
             continue;
@@ -556,7 +735,8 @@ fn flat_place_and_route(
             .map(|(i, _)| placement.rect(&problem, i).center())
             .collect();
         if pins.len() >= 2 {
-            routing_problem.add_net(&net, pins);
+            routing_problem.add_net(&net, pins.clone());
+            net_pins.push((net.clone(), pins));
         }
     }
     let routing = GlobalRouter::new(tech).route(&routing_problem)?;
@@ -565,7 +745,14 @@ fn flat_place_and_route(
         .map(|(inst, ix)| (inst.clone(), placement.rect(&problem, *ix)))
         .collect();
     let bbox = placement.bbox(&problem);
-    Ok((area, routing, (bbox, rects)))
+    Ok(PlacedDesign {
+        area_um2: area,
+        routing,
+        chosen: HashMap::new(),
+        bbox,
+        rects,
+        pins: net_pins,
+    })
 }
 
 /// Deterministic small hash of a port name (FNV-1a) used to spread port
@@ -579,8 +766,23 @@ fn port_hash(name: &str) -> u64 {
     h
 }
 
-/// Geometry handed back by placement for power-grid synthesis.
-type PlacedGeometry = (prima_geom::Rect, Vec<(String, prima_geom::Rect)>);
+/// Everything placement + global routing hands back to a flow: the block
+/// geometry (for power-grid synthesis), the chosen layout variants, and
+/// the per-net routing pins (for the verification pass).
+struct PlacedDesign {
+    /// Placement bounding-box area (µm²).
+    area_um2: f64,
+    /// Global routing of the signal nets.
+    routing: RoutingResult,
+    /// Chosen layout variant per instance (empty for the flat flow).
+    chosen: HashMap<String, PrimitiveLayout>,
+    /// Placement bounding box.
+    bbox: prima_geom::Rect,
+    /// Placed outline per block, in placement order.
+    rects: Vec<(String, prima_geom::Rect)>,
+    /// Pin positions per routed net (only nets with ≥ 2 pins).
+    pins: Vec<(String, Vec<Point>)>,
+}
 
 /// Places the blocks (choosing a variant per instance) and global-routes
 /// the signal nets. Returns the placement area (µm²), the routing result,
@@ -590,15 +792,7 @@ fn place_and_route(
     spec: &CircuitSpec,
     options: &HashMap<String, Vec<PrimitiveLayout>>,
     seed: u64,
-) -> Result<
-    (
-        f64,
-        RoutingResult,
-        HashMap<String, PrimitiveLayout>,
-        PlacedGeometry,
-    ),
-    FlowError,
-> {
+) -> Result<PlacedDesign, FlowError> {
     let mut problem = PlacementProblem::new();
     let mut index_of: HashMap<String, usize> = HashMap::new();
     for inst in &spec.instances {
@@ -653,6 +847,7 @@ fn place_and_route(
     // deterministic offset from the block center derived from its name —
     // this is what lets the detailed router keep symmetric pairs apart.
     let mut routing_problem = RoutingProblem::new();
+    let mut net_pins: Vec<(String, Vec<Point>)> = Vec::new();
     for net in spec.nets() {
         if is_power_net(&net) {
             continue;
@@ -673,7 +868,8 @@ fn place_and_route(
             pins.push(Point::new(c.x + dx, c.y + dy));
         }
         if pins.len() >= 2 {
-            routing_problem.add_net(&net, pins);
+            routing_problem.add_net(&net, pins.clone());
+            net_pins.push((net.clone(), pins));
         }
     }
     let routing = GlobalRouter::new(tech).route(&routing_problem)?;
@@ -686,7 +882,14 @@ fn place_and_route(
         })
         .collect();
     let bbox = placement.bbox(&problem);
-    Ok((area, routing, chosen, (bbox, rects)))
+    Ok(PlacedDesign {
+        area_um2: area,
+        routing,
+        chosen,
+        bbox,
+        rects,
+        pins: net_pins,
+    })
 }
 
 #[cfg(test)]
@@ -704,7 +907,7 @@ mod tests {
         assert_eq!(out.realization.layouts.len(), 2);
         // The shared output net got a single-wire route.
         assert!(out.realization.net_wires.contains_key("vout"));
-        assert_eq!(out.realization.net_wires["vout"].r_ohm > 0.0, true);
+        assert!(out.realization.net_wires["vout"].r_ohm > 0.0);
         assert!(out.area_um2 > 0.0);
     }
 
@@ -723,8 +926,6 @@ mod tests {
         // the wire exists and is consistent.
         assert!(out.realization.net_wires.contains_key("vout"));
     }
-
-
 
     #[test]
     fn conventional_flow_is_flat_per_transistor() {
@@ -763,6 +964,7 @@ mod tests {
         let off = FlowOptions {
             tuning: false,
             port_optimization: false,
+            ..FlowOptions::default()
         };
         let out = optimized_flow_with(&tech, &lib, &spec, &biases, 7, off).unwrap();
         // With port optimization off, every routed net is a single wire:

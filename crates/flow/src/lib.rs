@@ -16,6 +16,7 @@
 //!   extracted layouts) into one flat simulator circuit, inserting
 //!   global-route RC on the top-level nets and supply IR resistance.
 
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 #![forbid(unsafe_code)]
 
 pub mod builder;
@@ -34,7 +35,7 @@ use prima_spice::netlist::SpiceError;
 pub use builder::{build_circuit, PrimitiveInst, Realization};
 pub use flows::{
     conventional_flow, manual_flow, optimized_flow, optimized_flow_with, FlowKind, FlowOptions,
-    FlowOutcome,
+    FlowOutcome, VerifyPolicy,
 };
 
 /// Errors from circuit assembly and flow execution.
@@ -69,6 +70,20 @@ pub enum FlowError {
         /// What failed.
         what: String,
     },
+    /// Cell generation produced no layout candidates for an instance.
+    NoCandidates {
+        /// The instance with an empty candidate set.
+        instance: String,
+    },
+    /// The static verification gate found violations.
+    Verify {
+        /// Circuit that failed verification.
+        circuit: String,
+        /// Total violation count.
+        violations: usize,
+        /// The first violation, formatted.
+        first: String,
+    },
 }
 
 impl fmt::Display for FlowError {
@@ -85,6 +100,17 @@ impl fmt::Display for FlowError {
             FlowError::Place(e) => write!(f, "placement: {e}"),
             FlowError::Route(e) => write!(f, "routing: {e}"),
             FlowError::Measurement { what } => write!(f, "measurement: {what}"),
+            FlowError::NoCandidates { instance } => {
+                write!(f, "no layout candidates generated for instance {instance}")
+            }
+            FlowError::Verify {
+                circuit,
+                violations,
+                first,
+            } => write!(
+                f,
+                "verification: {circuit} has {violations} violation(s), first: {first}"
+            ),
         }
     }
 }

@@ -16,6 +16,7 @@
 //! assert!((r.aspect_ratio() - 2.0).abs() < 1e-12);
 //! ```
 
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 #![forbid(unsafe_code)]
 
 use serde::{Deserialize, Serialize};
@@ -37,7 +38,9 @@ pub fn um_to_nm(um: f64) -> Nm {
 }
 
 /// A point on the layout grid.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
 pub struct Point {
     /// Horizontal coordinate (nm).
     pub x: Nm,
@@ -372,6 +375,52 @@ mod tests {
         let r = Rect::from_size(Point::new(0, 0), 10, 10).expand(5);
         assert_eq!(r, Rect::new(Point::new(-5, -5), Point::new(15, 15)));
     }
+
+    #[test]
+    fn zero_area_rects_are_degenerate_but_well_formed() {
+        let line = Rect::from_size(Point::new(3, 7), 0, 40);
+        assert_eq!(line.area(), 0);
+        assert_eq!(line.width(), 0);
+        let point = Rect::new(Point::new(5, 5), Point::new(5, 5));
+        assert_eq!(point.area(), 0);
+        // A degenerate rect overlaps exactly when it sits strictly inside
+        // the other's interior — never when it lies on the boundary.
+        let fat = Rect::from_size(Point::new(0, 0), 100, 100);
+        assert!(fat.overlaps(&point));
+        assert!(point.overlaps(&fat));
+        let on_edge = Rect::new(Point::new(0, 50), Point::new(0, 50));
+        assert!(!fat.overlaps(&on_edge));
+        // Closed-point containment sees both.
+        assert!(fat.contains(point.lo));
+        assert!(fat.contains(on_edge.lo));
+        assert!(line.contains(Point::new(3, 20)));
+    }
+
+    #[test]
+    fn negative_coordinate_rects_keep_exact_arithmetic() {
+        let r = Rect::new(Point::new(-30, -50), Point::new(-10, -20));
+        assert_eq!(r.width(), 20);
+        assert_eq!(r.height(), 30);
+        assert_eq!(r.area(), 600);
+        assert_eq!(r.center(), Point::new(-20, -35));
+        let s = Rect::new(Point::new(-15, -25), Point::new(5, 5));
+        assert!(r.overlaps(&s));
+        let i = r.intersection(&s).unwrap();
+        assert_eq!(i, Rect::new(Point::new(-15, -25), Point::new(-10, -20)));
+    }
+
+    #[test]
+    fn touching_rects_union_but_do_not_intersect() {
+        // Share a full edge.
+        let a = Rect::from_size(Point::new(0, 0), 10, 10);
+        let b = Rect::from_size(Point::new(10, 0), 10, 10);
+        assert!(a.intersection(&b).is_none());
+        assert_eq!(a.union(&b), Rect::new(Point::new(0, 0), Point::new(20, 10)));
+        // Share only a corner.
+        let c = Rect::from_size(Point::new(10, 10), 10, 10);
+        assert!(!a.overlaps(&c));
+        assert!(a.intersection(&c).is_none());
+    }
 }
 
 #[cfg(test)]
@@ -414,6 +463,54 @@ mod proptests {
             let s = g.snap(v);
             prop_assert_eq!((s - offset).rem_euclid(pitch), 0);
             prop_assert!((s - v).abs() * 2 <= pitch + 1, "moved {} for pitch {}", (s - v).abs(), pitch);
+        }
+
+        /// Rects that only touch along an edge never overlap, have no
+        /// intersection, and union into exactly the covering bounding box.
+        #[test]
+        fn edge_touching_rects_never_overlap(
+            x in -5000i64..5000, y in -5000i64..5000,
+            w in 1i64..4000, h in 1i64..4000, w2 in 1i64..4000,
+        ) {
+            let a = Rect::from_size(Point::new(x, y), w, h);
+            let b = Rect::from_size(Point::new(x + w, y), w2, h); // abuts a's right edge
+            prop_assert!(!a.overlaps(&b));
+            prop_assert!(a.intersection(&b).is_none());
+            let u = a.union(&b);
+            prop_assert_eq!(u.area(), a.area() + b.area());
+        }
+
+        /// A zero-area rect overlaps exactly when it sits strictly inside
+        /// the other's interior, never on its boundary — and symmetrically.
+        #[test]
+        fn zero_area_rect_overlap_is_strict_interior(
+            x in -5000i64..5000, y in -5000i64..5000, b in arb_rect(),
+        ) {
+            let point = Rect::new(Point::new(x, y), Point::new(x, y));
+            prop_assert_eq!(point.area(), 0);
+            let strictly_inside =
+                b.lo.x < x && x < b.hi.x && b.lo.y < y && y < b.hi.y;
+            prop_assert_eq!(point.overlaps(&b), strictly_inside);
+            prop_assert_eq!(b.overlaps(&point), strictly_inside);
+        }
+
+        /// Translating both rects leaves overlap, intersection shape, and
+        /// areas unchanged — exact integer arithmetic has no preferred
+        /// origin, so negative coordinates behave like positive ones.
+        #[test]
+        fn translation_invariance(a in arb_rect(), b in arb_rect(),
+                                  dx in -10_000i64..10_000, dy in -10_000i64..10_000) {
+            let shift = |r: &Rect| Rect::new(
+                Point::new(r.lo.x + dx, r.lo.y + dy),
+                Point::new(r.hi.x + dx, r.hi.y + dy),
+            );
+            let (sa, sb) = (shift(&a), shift(&b));
+            prop_assert_eq!(a.overlaps(&b), sa.overlaps(&sb));
+            prop_assert_eq!(a.area(), sa.area());
+            prop_assert_eq!(
+                a.intersection(&b).map(|i| i.area()),
+                sa.intersection(&sb).map(|i| i.area())
+            );
         }
 
         /// Manhattan distance is a metric (symmetry + triangle inequality).

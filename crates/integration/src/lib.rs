@@ -1,1 +1,3 @@
 //! Cross-crate integration tests live in `tests/`; this crate has no runtime API.
+
+#![cfg_attr(test, allow(clippy::unwrap_used))]

@@ -388,7 +388,11 @@ pub fn generate(
     {
         // Gap g sits left of column g (0-based); gap n_cols is the far right.
         for g in 0..=n_cols {
-            let left_col_right_net = if g > 0 { col_terms[g - 1].1.clone() } else { None };
+            let left_col_right_net = if g > 0 {
+                col_terms[g - 1].1.clone()
+            } else {
+                None
+            };
             let right_col_left_net = if g < n_cols {
                 col_terms[g].0.clone()
             } else {
@@ -423,10 +427,7 @@ pub fn generate(
                 .unwrap_or(FetPolarity::Nmos);
             region_of_gap.push(regions.len());
             for net in nets {
-                regions.push(Region {
-                    net,
-                    polarity: pol,
-                });
+                regions.push(Region { net, polarity: pol });
             }
         }
     }
@@ -438,14 +439,11 @@ pub fn generate(
     // row (dummies included).  Run = full row; SA/SB measured to row ends.
     let mut devices_out = Vec::with_capacity(spec.devices.len());
     let l_nm = fin.gate_length as f64;
-    for d in &spec.devices {
+    for (di, d) in spec.devices.iter().enumerate() {
         let cols: Vec<usize> = col_terms
             .iter()
             .enumerate()
-            .filter_map(|(j, t)| {
-                (t.2 == Some(spec.devices.iter().position(|x| x.name == d.name).unwrap()))
-                    .then_some(j)
-            })
+            .filter_map(|(j, t)| (t.2 == Some(di)).then_some(j))
             .collect();
         debug_assert!(!cols.is_empty());
         let pitch = fin.poly_pitch as f64;
@@ -528,7 +526,11 @@ pub fn generate(
         // on both sides; approximate attachment columns by scanning gaps.
         for g in 0..=n_cols {
             let touches = {
-                let left = if g > 0 { col_terms[g - 1].1.as_deref() } else { None };
+                let left = if g > 0 {
+                    col_terms[g - 1].1.as_deref()
+                } else {
+                    None
+                };
                 let right = if g < n_cols {
                     col_terms[g].0.as_deref()
                 } else {
@@ -742,9 +744,7 @@ mod tests {
         let lw = generate(&tech, &spec, &with).unwrap();
         let lo = generate(&tech, &spec, &without).unwrap();
         // Dummies push diffusion ends away: lower stress measure.
-        assert!(
-            lw.device("MA").unwrap().inv_sa_mean < lo.device("MA").unwrap().inv_sa_mean
-        );
+        assert!(lw.device("MA").unwrap().inv_sa_mean < lo.device("MA").unwrap().inv_sa_mean);
         // …at the cost of area.
         assert!(lw.bbox.width() > lo.bbox.width());
     }

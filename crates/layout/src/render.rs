@@ -174,11 +174,7 @@ pub fn render(
                 let sx = gx + fin.gate_length + 2;
                 rects.push((
                     MaskLayer::M1,
-                    Rect::from_size(
-                        Point::new(sx, y0),
-                        tech.metal(1).min_width,
-                        diff_h / 2,
-                    ),
+                    Rect::from_size(Point::new(sx, y0), tech.metal(1).min_width, diff_h / 2),
                 ));
             }
         }
@@ -263,8 +259,8 @@ mod tests {
         let tech = Technology::finfet7();
         let cfg = CellConfig::new(4, 4, 1, PlacementPattern::Aabb);
         let g = render(&tech, &dp_spec(), &cfg).unwrap();
-        let offset = tech.fin.cell_width_overhead / 2
-            + (tech.fin.poly_pitch - tech.fin.gate_length) / 2;
+        let offset =
+            tech.fin.cell_width_overhead / 2 + (tech.fin.poly_pitch - tech.fin.gate_length) / 2;
         for r in g.layer(MaskLayer::Poly) {
             assert_eq!(
                 (r.lo.x - offset) % tech.fin.poly_pitch,

@@ -29,6 +29,7 @@
 //! assert!(m3.r_ohm_per_um > tech.metal(6).r_ohm_per_um);
 //! ```
 
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 #![forbid(unsafe_code)]
 
 use prima_spice::devices::{FetModel, FetPolarity};
@@ -198,6 +199,184 @@ impl VariationParams {
     }
 }
 
+/// Width/space/area rules of one drawn layer (nm, nm, nm²).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LayerRule {
+    /// Layer name (`"diff"`, `"fin"`, `"poly"`, `"M1"` …).
+    pub layer: String,
+    /// Minimum drawn width of a shape's short side (nm).
+    pub min_width: Nm,
+    /// Minimum clearance between disjoint same-layer shapes (nm).
+    pub min_space: Nm,
+    /// Minimum area of a connected same-layer shape (nm²).
+    pub min_area_nm2: i64,
+}
+
+/// Cut size and metal enclosure of the via level above one metal layer.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ViaRule {
+    /// Via name (`"V1"` = M1→M2 …).
+    pub name: String,
+    /// Square cut side length (nm).
+    pub cut: Nm,
+    /// Required metal enclosure of the cut on every side (nm).
+    pub enclosure: Nm,
+}
+
+/// A layer whose shapes must sit on a fixed pitch grid *within a cell*
+/// (coordinates are taken relative to the cell origin).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GridRule {
+    /// Layer name the rule applies to.
+    pub layer: String,
+    /// Grid pitch (nm).
+    pub pitch: Nm,
+    /// Offset of the first grid line from the cell origin (nm).
+    pub offset: Nm,
+}
+
+/// The design-rule section of a [`Technology`]: everything a static DRC
+/// pass needs to judge drawn geometry, derived from the same fin-grid and
+/// metal-stack numbers the generators consume so the rule deck and the
+/// generators cannot drift apart.
+///
+/// ```
+/// use prima_pdk::Technology;
+/// let tech = Technology::finfet7();
+/// // Metal spacing is the track pitch minus the minimum width …
+/// let m1 = tech.rules.metal(1);
+/// assert_eq!(m1.min_space, tech.metal(1).pitch - tech.metal(1).min_width);
+/// // … vias are enclosed by at least a quarter of the lower wire width …
+/// let v3 = tech.rules.via(3);
+/// assert!(v3.enclosure >= tech.metal(3).min_width / 4);
+/// // … and gates sit on the contacted poly pitch.
+/// let poly = tech.rules.grid("poly").unwrap();
+/// assert_eq!(poly.pitch, tech.fin.poly_pitch);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DesignRules {
+    /// Manufacturing grid (nm); every drawn coordinate must be a multiple.
+    pub grid_nm: Nm,
+    /// Front-end layer rules: diffusion, fin, poly.
+    pub feol: Vec<LayerRule>,
+    /// Back-end rules, `metal[0]` = M1 (same order as `Technology::metals`).
+    pub metal: Vec<LayerRule>,
+    /// Via rules, `vias[0]` = V1 (M1→M2).
+    pub vias: Vec<ViaRule>,
+    /// In-cell placement grids (poly columns, M1 stub columns).
+    pub grids: Vec<GridRule>,
+}
+
+impl DesignRules {
+    /// Derives the rule deck from the fin grid and metal stack. The
+    /// derivation encodes the node's contract: metal space = pitch − width,
+    /// via cuts are half the lower wire width with quarter-width enclosure,
+    /// FEOL spaces come from the tiling margins the cell generator leaves.
+    pub fn derive(fin: &FinGeometry, metals: &[MetalLayer]) -> Self {
+        let metal = metals
+            .iter()
+            .map(|m| LayerRule {
+                layer: m.name.clone(),
+                min_width: m.min_width,
+                min_space: (m.pitch - m.min_width).max(1),
+                min_area_nm2: m.min_width * m.min_width,
+            })
+            .collect();
+        let vias = metals
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| {
+                let cut = (w[0].min_width / 2).max(1);
+                ViaRule {
+                    name: format!("V{}", i + 1),
+                    cut,
+                    enclosure: cut / 2,
+                }
+            })
+            .collect();
+        let feol = vec![
+            LayerRule {
+                layer: "diff".to_string(),
+                // Strips span whole rows; the short side is the fin stack.
+                min_width: fin.fin_pitch,
+                min_space: (fin.cell_width_overhead - 2 * fin.diff_extension).max(1),
+                min_area_nm2: fin.fin_pitch * fin.poly_pitch,
+            },
+            LayerRule {
+                layer: "fin".to_string(),
+                min_width: fin.fin_width,
+                min_space: (fin.fin_pitch - fin.fin_width).max(1),
+                min_area_nm2: fin.fin_width * fin.fin_width,
+            },
+            LayerRule {
+                layer: "poly".to_string(),
+                min_width: fin.gate_length,
+                min_space: (fin.poly_pitch - fin.gate_length).max(1),
+                min_area_nm2: fin.gate_length * fin.gate_length,
+            },
+        ];
+        let grids = vec![
+            GridRule {
+                layer: "poly".to_string(),
+                pitch: fin.poly_pitch,
+                offset: fin.cell_width_overhead / 2 + (fin.poly_pitch - fin.gate_length) / 2,
+            },
+            GridRule {
+                // M1 stubs land a fixed clearance right of each gate.
+                layer: "M1".to_string(),
+                pitch: fin.poly_pitch,
+                offset: fin.cell_width_overhead / 2
+                    + (fin.poly_pitch - fin.gate_length) / 2
+                    + fin.gate_length
+                    + 2,
+            },
+        ];
+        DesignRules {
+            grid_nm: 1,
+            feol,
+            metal,
+            vias,
+            grids,
+        }
+    }
+
+    /// Metal rule by 1-based layer index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layer does not exist.
+    pub fn metal(&self, layer: usize) -> &LayerRule {
+        assert!(
+            (1..=self.metal.len()).contains(&layer),
+            "no rules for metal layer M{layer}"
+        );
+        &self.metal[layer - 1]
+    }
+
+    /// Via rule above a 1-based metal layer (`via(1)` = V1 = M1→M2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the via level does not exist.
+    pub fn via(&self, lower_layer: usize) -> &ViaRule {
+        assert!(
+            (1..=self.vias.len()).contains(&lower_layer),
+            "no via level above M{lower_layer}"
+        );
+        &self.vias[lower_layer - 1]
+    }
+
+    /// FEOL rule by layer name, if present.
+    pub fn feol(&self, layer: &str) -> Option<&LayerRule> {
+        self.feol.iter().find(|r| r.layer == layer)
+    }
+
+    /// In-cell grid rule by layer name, if present.
+    pub fn grid(&self, layer: &str) -> Option<&GridRule> {
+        self.grids.iter().find(|r| r.layer == layer)
+    }
+}
+
 /// The full technology description.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Technology {
@@ -225,6 +404,8 @@ pub struct Technology {
     pub nmos: FetModel,
     /// PMOS model card.
     pub pmos: FetModel,
+    /// Static design-rule deck derived from the same geometry numbers.
+    pub rules: DesignRules,
 }
 
 impl Technology {
@@ -246,69 +427,73 @@ impl Technology {
             sc_offset: 120.0,
             inv_sa_ref: 2.0 / (60.0 + 7.0),
         };
+        let fin = FinGeometry {
+            fin_pitch: 27,
+            fin_width: 7,
+            weff_per_fin: 48,
+            poly_pitch: 54,
+            gate_length: 14,
+            diff_extension: 25,
+            cell_height_overhead: 140,
+            cell_width_overhead: 108,
+        };
+        let metals = vec![
+            MetalLayer {
+                name: "M1".into(),
+                dir: RouteDir::Vertical,
+                pitch: 36,
+                min_width: 18,
+                r_ohm_per_um: 130.0,
+                c_f_per_um: 0.20e-15,
+            },
+            MetalLayer {
+                name: "M2".into(),
+                dir: RouteDir::Horizontal,
+                pitch: 40,
+                min_width: 20,
+                r_ohm_per_um: 95.0,
+                c_f_per_um: 0.20e-15,
+            },
+            MetalLayer {
+                name: "M3".into(),
+                dir: RouteDir::Vertical,
+                pitch: 48,
+                min_width: 24,
+                r_ohm_per_um: 60.0,
+                c_f_per_um: 0.22e-15,
+            },
+            MetalLayer {
+                name: "M4".into(),
+                dir: RouteDir::Horizontal,
+                pitch: 56,
+                min_width: 28,
+                r_ohm_per_um: 38.0,
+                c_f_per_um: 0.24e-15,
+            },
+            MetalLayer {
+                name: "M5".into(),
+                dir: RouteDir::Vertical,
+                pitch: 76,
+                min_width: 38,
+                r_ohm_per_um: 22.0,
+                c_f_per_um: 0.26e-15,
+            },
+            MetalLayer {
+                name: "M6".into(),
+                dir: RouteDir::Horizontal,
+                pitch: 90,
+                min_width: 45,
+                r_ohm_per_um: 14.0,
+                c_f_per_um: 0.28e-15,
+            },
+        ];
+        let rules = DesignRules::derive(&fin, &metals);
         Technology {
             name: "finfet7".to_string(),
             vdd: 0.8,
-            fin: FinGeometry {
-                fin_pitch: 27,
-                fin_width: 7,
-                weff_per_fin: 48,
-                poly_pitch: 54,
-                gate_length: 14,
-                diff_extension: 25,
-                cell_height_overhead: 140,
-                cell_width_overhead: 108,
-            },
-            metals: vec![
-                MetalLayer {
-                    name: "M1".into(),
-                    dir: RouteDir::Vertical,
-                    pitch: 36,
-                    min_width: 18,
-                    r_ohm_per_um: 130.0,
-                    c_f_per_um: 0.20e-15,
-                },
-                MetalLayer {
-                    name: "M2".into(),
-                    dir: RouteDir::Horizontal,
-                    pitch: 40,
-                    min_width: 20,
-                    r_ohm_per_um: 95.0,
-                    c_f_per_um: 0.20e-15,
-                },
-                MetalLayer {
-                    name: "M3".into(),
-                    dir: RouteDir::Vertical,
-                    pitch: 48,
-                    min_width: 24,
-                    r_ohm_per_um: 60.0,
-                    c_f_per_um: 0.22e-15,
-                },
-                MetalLayer {
-                    name: "M4".into(),
-                    dir: RouteDir::Horizontal,
-                    pitch: 56,
-                    min_width: 28,
-                    r_ohm_per_um: 38.0,
-                    c_f_per_um: 0.24e-15,
-                },
-                MetalLayer {
-                    name: "M5".into(),
-                    dir: RouteDir::Vertical,
-                    pitch: 76,
-                    min_width: 38,
-                    r_ohm_per_um: 22.0,
-                    c_f_per_um: 0.26e-15,
-                },
-                MetalLayer {
-                    name: "M6".into(),
-                    dir: RouteDir::Horizontal,
-                    pitch: 90,
-                    min_width: 45,
-                    r_ohm_per_um: 14.0,
-                    c_f_per_um: 0.28e-15,
-                },
-            ],
+            fin,
+            metals,
+            rules,
             via_r: vec![22.0, 18.0, 14.0, 10.0, 7.0],
             via_c: 0.02e-15,
             lde_n,
@@ -372,69 +557,73 @@ impl Technology {
             sc_offset: 200.0,
             inv_sa_ref: 2.0 / (120.0 + 16.0),
         };
+        let fin = FinGeometry {
+            fin_pitch: 100,
+            fin_width: 100,
+            weff_per_fin: 100,
+            poly_pitch: 90,
+            gate_length: 32,
+            diff_extension: 60,
+            cell_height_overhead: 250,
+            cell_width_overhead: 180,
+        };
+        let metals = vec![
+            MetalLayer {
+                name: "M1".into(),
+                dir: RouteDir::Vertical,
+                pitch: 64,
+                min_width: 32,
+                r_ohm_per_um: 55.0,
+                c_f_per_um: 0.19e-15,
+            },
+            MetalLayer {
+                name: "M2".into(),
+                dir: RouteDir::Horizontal,
+                pitch: 64,
+                min_width: 32,
+                r_ohm_per_um: 45.0,
+                c_f_per_um: 0.19e-15,
+            },
+            MetalLayer {
+                name: "M3".into(),
+                dir: RouteDir::Vertical,
+                pitch: 80,
+                min_width: 40,
+                r_ohm_per_um: 30.0,
+                c_f_per_um: 0.21e-15,
+            },
+            MetalLayer {
+                name: "M4".into(),
+                dir: RouteDir::Horizontal,
+                pitch: 100,
+                min_width: 50,
+                r_ohm_per_um: 18.0,
+                c_f_per_um: 0.23e-15,
+            },
+            MetalLayer {
+                name: "M5".into(),
+                dir: RouteDir::Vertical,
+                pitch: 140,
+                min_width: 70,
+                r_ohm_per_um: 10.0,
+                c_f_per_um: 0.25e-15,
+            },
+            MetalLayer {
+                name: "M6".into(),
+                dir: RouteDir::Horizontal,
+                pitch: 200,
+                min_width: 100,
+                r_ohm_per_um: 6.0,
+                c_f_per_um: 0.27e-15,
+            },
+        ];
+        let rules = DesignRules::derive(&fin, &metals);
         Technology {
             name: "bulk16".to_string(),
             vdd: 0.9,
-            fin: FinGeometry {
-                fin_pitch: 100,
-                fin_width: 100,
-                weff_per_fin: 100,
-                poly_pitch: 90,
-                gate_length: 32,
-                diff_extension: 60,
-                cell_height_overhead: 250,
-                cell_width_overhead: 180,
-            },
-            metals: vec![
-                MetalLayer {
-                    name: "M1".into(),
-                    dir: RouteDir::Vertical,
-                    pitch: 64,
-                    min_width: 32,
-                    r_ohm_per_um: 55.0,
-                    c_f_per_um: 0.19e-15,
-                },
-                MetalLayer {
-                    name: "M2".into(),
-                    dir: RouteDir::Horizontal,
-                    pitch: 64,
-                    min_width: 32,
-                    r_ohm_per_um: 45.0,
-                    c_f_per_um: 0.19e-15,
-                },
-                MetalLayer {
-                    name: "M3".into(),
-                    dir: RouteDir::Vertical,
-                    pitch: 80,
-                    min_width: 40,
-                    r_ohm_per_um: 30.0,
-                    c_f_per_um: 0.21e-15,
-                },
-                MetalLayer {
-                    name: "M4".into(),
-                    dir: RouteDir::Horizontal,
-                    pitch: 100,
-                    min_width: 50,
-                    r_ohm_per_um: 18.0,
-                    c_f_per_um: 0.23e-15,
-                },
-                MetalLayer {
-                    name: "M5".into(),
-                    dir: RouteDir::Vertical,
-                    pitch: 140,
-                    min_width: 70,
-                    r_ohm_per_um: 10.0,
-                    c_f_per_um: 0.25e-15,
-                },
-                MetalLayer {
-                    name: "M6".into(),
-                    dir: RouteDir::Horizontal,
-                    pitch: 200,
-                    min_width: 100,
-                    r_ohm_per_um: 6.0,
-                    c_f_per_um: 0.27e-15,
-                },
-            ],
+            fin,
+            metals,
+            rules,
             via_r: vec![12.0, 10.0, 8.0, 6.0, 4.0],
             via_c: 0.03e-15,
             lde_n,
@@ -642,7 +831,6 @@ mod tests {
         assert!((f.weff_m(960) - 46.08e-6).abs() < 1e-9);
     }
 
-
     #[test]
     fn bulk_node_is_consistent_and_distinct() {
         let b = Technology::bulk16();
@@ -658,6 +846,46 @@ mod tests {
         assert!(b.nmos.cj > f.nmos.cj);
         assert!(b.fin.poly_pitch > f.fin.poly_pitch);
         assert!(b.vdd > f.vdd);
+    }
+
+    #[test]
+    fn design_rules_are_consistent_with_geometry() {
+        for tech in [Technology::finfet7(), Technology::bulk16()] {
+            let rules = &tech.rules;
+            assert_eq!(rules.grid_nm, 1);
+            assert_eq!(rules.metal.len(), tech.metal_count());
+            assert_eq!(rules.vias.len(), tech.metal_count() - 1);
+            for (i, m) in tech.metals.iter().enumerate() {
+                let r = rules.metal(i + 1);
+                assert_eq!(r.layer, m.name);
+                assert_eq!(r.min_width, m.min_width);
+                // Two wires on adjacent tracks sit exactly at min_space:
+                // the deck must accept the router's track grid.
+                assert_eq!(r.min_space, (m.pitch - m.min_width).max(1));
+                assert!(r.min_area_nm2 > 0);
+            }
+            for (i, v) in rules.vias.iter().enumerate() {
+                // The cut plus its enclosure must fit in a minimum-width
+                // wire on both connected layers.
+                let lower = tech.metal(i + 1).min_width;
+                let upper = tech.metal(i + 2).min_width;
+                assert!(v.cut + 2 * v.enclosure <= lower.min(upper));
+                assert!(v.cut >= 1);
+            }
+            for layer in ["diff", "fin", "poly"] {
+                let r = rules.feol(layer).expect("FEOL rule present");
+                assert!(r.min_width >= 1 && r.min_space >= 1);
+            }
+            // Gates repeat on the contacted poly pitch; the first gate of a
+            // cell sits centred in its poly column.
+            let poly = rules.grid("poly").expect("poly grid rule");
+            assert_eq!(poly.pitch, tech.fin.poly_pitch);
+            assert_eq!(
+                poly.offset,
+                tech.fin.cell_width_overhead / 2 + (tech.fin.poly_pitch - tech.fin.gate_length) / 2
+            );
+            assert!(rules.grid("M1").is_some());
+        }
     }
 
     #[test]

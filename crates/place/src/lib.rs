@@ -24,6 +24,7 @@
 //! assert!(!placement.has_overlaps(&p));
 //! ```
 
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 #![forbid(unsafe_code)]
 
 use prima_geom::{Nm, Point, Rect};
@@ -538,10 +539,7 @@ mod tests {
         let bb = placement.bbox(&p);
         // Worst case (both horizontal, stacked diagonally) is ~8000 wide;
         // any sensible packing is far smaller in area.
-        assert!(
-            bb.area() < 8000 * 8000,
-            "bounding box {bb} too large"
-        );
+        assert!(bb.area() < 8000 * 8000, "bounding box {bb} too large");
     }
 
     #[test]

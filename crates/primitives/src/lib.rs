@@ -38,6 +38,7 @@
 //! assert!(gm > 0.0);
 //! ```
 
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 #![forbid(unsafe_code)]
 
 mod bias;

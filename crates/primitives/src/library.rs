@@ -288,10 +288,7 @@ impl Library {
             name: "csrc".into(),
             description: "NMOS current source (gate-biased)".into(),
             class: PrimitiveClass::CurrentSource,
-            spec: PrimitiveSpec::new(
-                "csrc",
-                vec![DeviceSpec::new("MCS", n, "out", "vb", "vss")],
-            ),
+            spec: PrimitiveSpec::new("csrc", vec![DeviceSpec::new("MCS", n, "out", "vb", "vss")]),
             metrics: vec![
                 Metric::new("I", MetricKind::OutputCurrent, 1.0),
                 Metric::new("ro", MetricKind::OutputResistance, 0.5),
@@ -356,10 +353,7 @@ impl Library {
             name: "cs_amp".into(),
             description: "common-source NMOS amplifier stage".into(),
             class: PrimitiveClass::Amplifier,
-            spec: PrimitiveSpec::new(
-                "cs_amp",
-                vec![DeviceSpec::new("M1", n, "out", "in", "vss")],
-            ),
+            spec: PrimitiveSpec::new("cs_amp", vec![DeviceSpec::new("M1", n, "out", "in", "vss")]),
             metrics: vec![
                 Metric::new("Gm", MetricKind::Gm, 1.0),
                 Metric::new("ro", MetricKind::OutputResistance, 0.5),
@@ -406,10 +400,7 @@ impl Library {
             name: "switch".into(),
             description: "NMOS pass switch".into(),
             class: PrimitiveClass::Switch,
-            spec: PrimitiveSpec::new(
-                "switch",
-                vec![DeviceSpec::new("MSW", n, "b", "en", "a")],
-            ),
+            spec: PrimitiveSpec::new("switch", vec![DeviceSpec::new("MSW", n, "b", "en", "a")]),
             metrics: vec![
                 // A switch's on-resistance and the capacitance it adds to
                 // the switched node matter comparably in clocked circuits.
@@ -484,7 +475,8 @@ impl Library {
         });
         defs.push(PrimitiveDef {
             name: "latch".into(),
-            description: "cross-coupled inverter latch with split NMOS sources (StrongARM core)".into(),
+            description: "cross-coupled inverter latch with split NMOS sources (StrongARM core)"
+                .into(),
             class: PrimitiveClass::CrossCoupled,
             spec: PrimitiveSpec::new(
                 "latch",
@@ -507,7 +499,8 @@ impl Library {
         });
         defs.push(PrimitiveDef {
             name: "latch_starved".into(),
-            description: "current-starved cross-coupled latch (tracks a VCO's control rails)".into(),
+            description: "current-starved cross-coupled latch (tracks a VCO's control rails)"
+                .into(),
             class: PrimitiveClass::CrossCoupled,
             spec: PrimitiveSpec::new(
                 "latch_starved",

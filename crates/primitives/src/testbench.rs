@@ -425,8 +425,13 @@ fn mirror_scaffold(
         FetPolarity::Pmos => s.circuit.isource("IREF", in_n, Circuit::GROUND, iref),
     }
     let out_n = s.at("out");
-    s.circuit
-        .vsource_ac("VOUT", out_n, Circuit::GROUND, vout, if ac_out { 1.0 } else { 0.0 });
+    s.circuit.vsource_ac(
+        "VOUT",
+        out_n,
+        Circuit::GROUND,
+        vout,
+        if ac_out { 1.0 } else { 0.0 },
+    );
     if def.ports.iter().any(|p| p == "vss") {
         ground_port(&mut s, "vss");
     }
@@ -496,8 +501,13 @@ fn csrc_scaffold(
     let vb_n = s.at("vb");
     s.circuit.vsource("VB", vb_n, Circuit::GROUND, vb);
     let out_n = s.at("out");
-    s.circuit
-        .vsource_ac("VOUT", out_n, Circuit::GROUND, vout, if ac_out { 1.0 } else { 0.0 });
+    s.circuit.vsource_ac(
+        "VOUT",
+        out_n,
+        Circuit::GROUND,
+        vout,
+        if ac_out { 1.0 } else { 0.0 },
+    );
     if def.ports.iter().any(|p| p == "vss") {
         ground_port(&mut s, "vss");
     }
@@ -565,9 +575,11 @@ fn amp_metric(
         );
         let vout = bias.v("vout", 0.55 * vdd);
         let in_n = s.at("in");
-        s.circuit.vsource_ac("VIN", in_n, Circuit::GROUND, vin, ac_in);
+        s.circuit
+            .vsource_ac("VIN", in_n, Circuit::GROUND, vin, ac_in);
         let out_n = s.at("out");
-        s.circuit.vsource_ac("VOUT", out_n, Circuit::GROUND, vout, ac_out);
+        s.circuit
+            .vsource_ac("VOUT", out_n, Circuit::GROUND, vout, ac_out);
         add_load(&mut s, bias, "out");
         if def.ports.iter().any(|p| p == "vss") {
             ground_port(&mut s, "vss");
@@ -837,7 +849,8 @@ fn csi_scaffold(
     s.circuit.vsource("VSUP", n, Circuit::GROUND, vdd);
     ground_port(&mut s, "vss");
     let in_n = s.at("in");
-    s.circuit.vsource_wave("VIN", in_n, Circuit::GROUND, in_wave, 0.0);
+    s.circuit
+        .vsource_wave("VIN", in_n, Circuit::GROUND, in_wave, 0.0);
     add_load(&mut s, bias, "out");
     Ok(s)
 }
@@ -870,18 +883,16 @@ fn csi_metric(
             match metric.kind {
                 MetricKind::Delay => {
                     let half = vdd / 2.0;
-                    let d_hl = measure::delay(
-                        &t, &vin, half, Edge::Rising, 1, &vout, half, Edge::Falling,
-                    )
-                    .ok_or(EvalError::MeasurementFailed {
-                        what: "no output fall".to_string(),
-                    })?;
-                    let d_lh = measure::delay(
-                        &t, &vin, half, Edge::Falling, 1, &vout, half, Edge::Rising,
-                    )
-                    .ok_or(EvalError::MeasurementFailed {
-                        what: "no output rise".to_string(),
-                    })?;
+                    let d_hl =
+                        measure::delay(&t, &vin, half, Edge::Rising, 1, &vout, half, Edge::Falling)
+                            .ok_or(EvalError::MeasurementFailed {
+                                what: "no output fall".to_string(),
+                            })?;
+                    let d_lh =
+                        measure::delay(&t, &vin, half, Edge::Falling, 1, &vout, half, Edge::Rising)
+                            .ok_or(EvalError::MeasurementFailed {
+                                what: "no output rise".to_string(),
+                            })?;
                     Ok(0.5 * (d_hl + d_lh))
                 }
                 MetricKind::OutputCurrent => {
@@ -951,8 +962,10 @@ fn passive_cap_metric(
     let rb = externals.get("b").map(|w| w.r_ohm).unwrap_or(0.0);
     let cext: f64 = externals.values().map(|w| w.c_f).sum();
     c.vsource_ac("VDRV", a, Circuit::GROUND, 0.0, 1.0);
-    c.resistor("RA", a, plate, ra.max(1e-3)).map_err(EvalError::Spice)?;
-    c.capacitor("CMAIN", plate, b, design_f).map_err(EvalError::Spice)?;
+    c.resistor("RA", a, plate, ra.max(1e-3))
+        .map_err(EvalError::Spice)?;
+    c.capacitor("CMAIN", plate, b, design_f)
+        .map_err(EvalError::Spice)?;
     if cext > 0.0 {
         c.capacitor("CEXT", plate, Circuit::GROUND, cext)
             .map_err(EvalError::Spice)?;
@@ -1173,8 +1186,15 @@ mod tests {
         let cs = lib.get("csrc").unwrap();
         let bias = Bias::nominal(&tech, &cs.class);
         let view = LayoutView::Schematic { total_fins: 64 };
-        let i = evaluate_metric(&tech, cs, cs.metric("I").unwrap(), view, &bias, &HashMap::new())
-            .unwrap();
+        let i = evaluate_metric(
+            &tech,
+            cs,
+            cs.metric("I").unwrap(),
+            view,
+            &bias,
+            &HashMap::new(),
+        )
+        .unwrap();
         assert!(i > 1e-6, "current source delivers {i}");
         let ro = evaluate_metric(
             &tech,
@@ -1225,8 +1245,15 @@ mod tests {
         let ld = lib.get("load_diode").unwrap();
         let bias = Bias::nominal(&tech, &ld.class);
         let view = LayoutView::Schematic { total_fins: 64 };
-        let ro = evaluate_metric(&tech, ld, ld.metric("ro").unwrap(), view, &bias, &HashMap::new())
-            .unwrap();
+        let ro = evaluate_metric(
+            &tech,
+            ld,
+            ld.metric("ro").unwrap(),
+            view,
+            &bias,
+            &HashMap::new(),
+        )
+        .unwrap();
         // Diode-connected: ro ≈ 1/gm — hundreds of ohms to a few kΩ here.
         assert!(ro > 10.0 && ro < 1e5, "diode ro {ro}");
     }
@@ -1422,7 +1449,10 @@ mod tests {
             &ext,
         )
         .unwrap();
-        assert!(wired < base, "extra drain wiring lowers Gm/Ct: {wired} vs {base}");
+        assert!(
+            wired < base,
+            "extra drain wiring lowers Gm/Ct: {wired} vs {base}"
+        );
     }
 }
 

@@ -16,6 +16,13 @@ use serde::{Deserialize, Serialize};
 
 use crate::{NetRoute, Segment};
 
+/// Spans on the same track must keep at least `gap` nm between them so the
+/// drawn wires respect the layer's minimum spacing; the occupancy map does
+/// not record net identity, so the rule applies uniformly.
+fn spans_clear(a: (Nm, Nm), b: (Nm, Nm), gap: Nm) -> bool {
+    a.1 + gap <= b.0 || b.1 + gap <= a.0
+}
+
 /// Errors from detailed routing.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DetailError {
@@ -258,9 +265,9 @@ impl<'t> DetailRouter<'t> {
                 )
                 .ok()
                 .filter(|(b_asgn, _)| {
+                    let gap = self.tech.rules.metal(a_asgn.layer).min_space;
                     !(a_asgn.layer == b_asgn.layer
-                        && a_asgn.span.0 < b_asgn.span.1
-                        && b_asgn.span.0 < a_asgn.span.1
+                        && !spans_clear(a_asgn.span, b_asgn.span, gap)
                         && a_asgn.tracks.iter().any(|t| b_asgn.tracks.contains(t)))
                 });
             let (a_asgn, b_asgn) = match partner_try {
@@ -307,9 +314,9 @@ impl<'t> DetailRouter<'t> {
                 if let (Ok((aa, _)), Ok((bb, _))) = (ra, rb) {
                     // The two assignments must also not collide with each
                     // other.
+                    let gap = self.tech.rules.metal(aa.layer).min_space;
                     let overlap = aa.layer == bb.layer
-                        && aa.span.0 < bb.span.1
-                        && bb.span.0 < aa.span.1
+                        && !spans_clear(aa.span, bb.span, gap)
                         && aa.tracks.iter().any(|t| bb.tracks.contains(t));
                     if !overlap {
                         return Ok((aa, bb));
@@ -353,13 +360,14 @@ impl<'t> DetailRouter<'t> {
                 v
             }
         };
+        let gap = self.tech.rules.metal(seg.layer).min_space;
         for shift in shifts {
             let start = base_track + shift;
             let tracks: Vec<i64> = (0..k as i64).map(|d| start + d).collect();
             let free = tracks.iter().all(|&t| {
                 occupied
                     .get(&(seg.layer, t))
-                    .map(|spans| spans.iter().all(|&(lo, hi)| !(span.0 < hi && lo < span.1)))
+                    .map(|spans| spans.iter().all(|&s| spans_clear(s, span, gap)))
                     .unwrap_or(true)
             });
             if free {
@@ -401,6 +409,7 @@ impl<'t> DetailRouter<'t> {
         };
 
         // Search order: 0, +1, −1, +2, −2, …
+        let gap = self.tech.rules.metal(seg.layer).min_space;
         for shift_mag in 0..=self.max_shift {
             for sign in [1i64, -1] {
                 if shift_mag == 0 && sign < 0 {
@@ -411,11 +420,7 @@ impl<'t> DetailRouter<'t> {
                 let free = tracks.iter().all(|&t| {
                     occupied
                         .get(&(seg.layer, t))
-                        .map(|spans| {
-                            spans
-                                .iter()
-                                .all(|&(lo, hi)| !(span.0 < hi && lo < span.1))
-                        })
+                        .map(|spans| spans.iter().all(|&s| spans_clear(s, span, gap)))
                         .unwrap_or(true)
                 });
                 if free {

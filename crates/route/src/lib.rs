@@ -24,6 +24,7 @@
 //! assert!(n1.via_count > 0);
 //! ```
 
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 #![forbid(unsafe_code)]
 
 pub mod detail;
@@ -46,6 +47,11 @@ pub enum RouteError {
     },
     /// No nets to route.
     Empty,
+    /// Internal invariant broken while growing a net's spanning tree.
+    Internal {
+        /// The net being routed when the invariant failed.
+        net: String,
+    },
 }
 
 impl fmt::Display for RouteError {
@@ -53,6 +59,9 @@ impl fmt::Display for RouteError {
         match self {
             RouteError::DegenerateNet { net } => write!(f, "net {net} has fewer than two pins"),
             RouteError::Empty => write!(f, "no nets to route"),
+            RouteError::Internal { net } => {
+                write!(f, "internal spanning-tree invariant broken on net {net}")
+            }
         }
     }
 }
@@ -253,7 +262,7 @@ impl<'t> GlobalRouter<'t> {
                         }
                     }
                 }
-                let (i, j, _) = best.expect("tree grows every round");
+                let (i, j, _) = best.ok_or_else(|| RouteError::Internal { net: name.clone() })?;
                 in_tree[j] = true;
                 let (segs, v) = self.route_edge(pins[i], pins[j], &mut congestion);
                 segments.extend(segs);
@@ -307,8 +316,16 @@ impl<'t> GlobalRouter<'t> {
             if p == q {
                 continue;
             }
-            let layer = if p.y == q.y { self.h_layer } else { self.v_layer };
-            segments.push(Segment { layer, from: p, to: q });
+            let layer = if p.y == q.y {
+                self.h_layer
+            } else {
+                self.v_layer
+            };
+            segments.push(Segment {
+                layer,
+                from: p,
+                to: q,
+            });
             self.mark(p, q, congestion);
         }
         if segments.len() == 2 {
@@ -324,7 +341,10 @@ impl<'t> GlobalRouter<'t> {
             let t = s as f64 / steps as f64;
             let x = p.x + ((q.x - p.x) as f64 * t) as Nm;
             let y = p.y + ((q.y - p.y) as f64 * t) as Nm;
-            let cell = (x.div_euclid(self.cell_size_nm), y.div_euclid(self.cell_size_nm));
+            let cell = (
+                x.div_euclid(self.cell_size_nm),
+                y.div_euclid(self.cell_size_nm),
+            );
             *congestion.entry(cell).or_insert(0) += self.cell_size_nm.min(p.manhattan(q));
         }
     }

@@ -63,7 +63,7 @@ impl FrequencySweep {
                     }
                     out.push(f);
                 }
-                if *out.last().unwrap() < *stop {
+                if out.last().is_none_or(|&f| f < *stop) {
                     out.push(*stop);
                 }
                 Ok(out)
@@ -343,7 +343,13 @@ fn assemble_ac(
     }
 }
 
-fn stamp_branch_kcl_c(mat: &mut Matrix<Complex>, topo: &Topology, pos: NodeId, neg: NodeId, k: usize) {
+fn stamp_branch_kcl_c(
+    mat: &mut Matrix<Complex>,
+    topo: &Topology,
+    pos: NodeId,
+    neg: NodeId,
+    k: usize,
+) {
     if let Some(ip) = topo.vix(pos) {
         mat.stamp(ip, k, Complex::ONE);
     }

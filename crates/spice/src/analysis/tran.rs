@@ -145,10 +145,7 @@ impl TranSolver {
                 let mut x = vec![0.0; dim];
                 for el in circuit.elements() {
                     if let Element::Capacitor {
-                        a,
-                        b,
-                        ic: Some(v),
-                        ..
+                        a, b, ic: Some(v), ..
                     } = el
                     {
                         // Apply v(a)−v(b)=ic naively: set a to ic if b grounded.
@@ -318,10 +315,7 @@ impl ReactiveState {
                     caps.insert(idx, (v, 0.0));
                 }
                 Element::Inductor { .. } => {
-                    let i0 = topo
-                        .branch_ix(idx)
-                        .map(|k| x[k])
-                        .unwrap_or(0.0);
+                    let i0 = topo.branch_ix(idx).map(|k| x[k]).unwrap_or(0.0);
                     inductors.insert(idx, (i0, 0.0));
                 }
                 Element::Fet(fet) => {
@@ -741,6 +735,10 @@ mod tests {
         let res = TranSolver::new(2e-12, 1.2e-9).solve(&c).unwrap();
         let v = res.voltage(out);
         assert!(v[0] > 0.75, "initial high, got {}", v[0]);
-        assert!(*v.last().unwrap() < 0.05, "final low, got {}", v.last().unwrap());
+        assert!(
+            *v.last().unwrap() < 0.05,
+            "final low, got {}",
+            v.last().unwrap()
+        );
     }
 }

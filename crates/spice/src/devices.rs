@@ -231,7 +231,11 @@ impl FetInstance {
         let db = flip * core.gmb;
         let dn_hi = flip * core.gds;
         let dn_lo = -flip * (core.gm + core.gds + core.gmb);
-        let (did_dvd, did_dvs) = if flipped { (dn_lo, dn_hi) } else { (dn_hi, dn_lo) };
+        let (did_dvd, did_dvs) = if flipped {
+            (dn_lo, dn_hi)
+        } else {
+            (dn_hi, dn_lo)
+        };
 
         FetEval {
             id_raw: sgn * flip * core.id,
@@ -699,7 +703,12 @@ mod tests {
         let sat = m.capacitances(0.8, 0.6, 0.0, 0.0);
         // Deep triode: cgs ≈ cgd ≈ 1/2 Cox.
         let tri = m.capacitances(0.01, 1.0, 0.0, 0.0);
-        assert!(sat.cgd < 0.2 * sat.cgs, "sat cgd {} cgs {}", sat.cgd, sat.cgs);
+        assert!(
+            sat.cgd < 0.2 * sat.cgs,
+            "sat cgd {} cgs {}",
+            sat.cgd,
+            sat.cgs
+        );
         assert!((tri.cgd / tri.cgs - 1.0).abs() < 0.2);
         // Off: gate-bulk dominates.
         let off = m.capacitances(0.8, 0.0, 0.0, 0.0);

@@ -43,6 +43,8 @@
 //! assert!((op.voltage(mid) - 0.5).abs() < 1e-9);
 //! ```
 
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod analysis;
 pub mod devices;
 pub mod measure;

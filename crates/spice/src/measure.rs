@@ -189,7 +189,7 @@ pub fn osc_frequency(times: &[f64], wave: &[f64], periods_to_use: usize) -> Opti
     let keep = periods_to_use.max(1).min(periods.len());
     let tail = periods.split_off(periods.len() - keep);
     let mut tail = tail;
-    tail.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    tail.sort_by(|a, b| a.total_cmp(b));
     let median = tail[tail.len() / 2];
     if median > 0.0 {
         Some(1.0 / median)
@@ -312,7 +312,6 @@ mod tests {
         let pm = phase_margin_deg(&res, out).unwrap();
         assert!((pm - 90.0).abs() < 3.0, "pm {pm}");
     }
-
 
     #[test]
     fn phase_margin_two_pole_system() {

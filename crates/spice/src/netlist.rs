@@ -209,7 +209,7 @@ impl Waveform {
                         return v1;
                     }
                 }
-                points.last().unwrap().1
+                points.last().map_or(0.0, |p| p.1)
             }
         }
     }
@@ -591,7 +591,10 @@ impl Circuit {
         if !(fet.w.is_finite() && fet.w > 0.0 && fet.l.is_finite() && fet.l > 0.0) {
             return Err(SpiceError::InvalidValue {
                 element: fet.name.clone(),
-                reason: format!("W and L must be finite and positive, got W={} L={}", fet.w, fet.l),
+                reason: format!(
+                    "W and L must be finite and positive, got W={} L={}",
+                    fet.w, fet.l
+                ),
             });
         }
         self.elements.push(Element::Fet(fet));

@@ -156,11 +156,7 @@ fn parse_card(
         return Ok(());
     }
     let name = toks[0].clone();
-    let kind = name
-        .chars()
-        .next()
-        .unwrap_or(' ')
-        .to_ascii_lowercase();
+    let kind = name.chars().next().unwrap_or(' ').to_ascii_lowercase();
     let err = |reason: String| SpiceError::Parse {
         line: lineno,
         reason,
@@ -200,8 +196,8 @@ fn parse_card(
             }
             let p = c.node(&toks[1]);
             let n = c.node(&toks[2]);
-            let (wave, ac_mag) = parse_source_spec(&toks[3..])
-                .map_err(|reason| err(format!("{name}: {reason}")))?;
+            let (wave, ac_mag) =
+                parse_source_spec(&toks[3..]).map_err(|reason| err(format!("{name}: {reason}")))?;
             if kind == 'v' {
                 c.vsource_wave(&name, p, n, wave, ac_mag);
             } else {
@@ -216,8 +212,7 @@ fn parse_card(
             let n = c.node(&toks[2]);
             let cp = c.node(&toks[3]);
             let cn = c.node(&toks[4]);
-            let gain =
-                parse_value(&toks[5]).ok_or_else(|| err(format!("bad gain {}", toks[5])))?;
+            let gain = parse_value(&toks[5]).ok_or_else(|| err(format!("bad gain {}", toks[5])))?;
             if kind == 'e' {
                 c.vcvs(&name, p, n, cp, cn, gain);
             } else {
@@ -263,10 +258,12 @@ fn parse_card(
             if toks.len() < 2 {
                 return Err(err(format!("{name}: expected nodes and a subckt name")));
             }
-            let sub_name = toks.last().unwrap().to_ascii_lowercase();
-            let (ports, sub) = subckts.get(&sub_name).ok_or(SpiceError::UnknownSubcircuit {
-                name: sub_name.clone(),
-            })?;
+            let sub_name = toks[toks.len() - 1].to_ascii_lowercase();
+            let (ports, sub) = subckts
+                .get(&sub_name)
+                .ok_or(SpiceError::UnknownSubcircuit {
+                    name: sub_name.clone(),
+                })?;
             let given = &toks[1..toks.len() - 1];
             if given.len() != ports.len() {
                 return Err(err(format!(
@@ -322,7 +319,11 @@ fn parse_source_spec(toks: &[String]) -> Result<(Waveform, f64), String> {
                 rise: vals[3],
                 fall: vals[4],
                 width: vals[5],
-                period: if vals[6] > 0.0 { vals[6] } else { f64::INFINITY },
+                period: if vals[6] > 0.0 {
+                    vals[6]
+                } else {
+                    f64::INFINITY
+                },
             });
         } else if let Some(args) = t.strip_prefix("sin") {
             let vals = parse_paren_list(args)?;

@@ -2,6 +2,9 @@
 //! operating-point table — the artifacts an analog designer actually looks
 //! at after a run.
 
+// `fmt::Write` into a `String` cannot fail.
+#![allow(clippy::unwrap_used)]
+
 use std::fmt::Write as _;
 
 use crate::analysis::ac::AcResult;
@@ -139,10 +142,7 @@ mod tests {
     fn ac_csv_magnitude_and_phase() {
         let (c, _, out) = rc();
         let res = AcSolver::new()
-            .solve(
-                &c,
-                &FrequencySweep::List(vec![1e6, 159.15e6]),
-            )
+            .solve(&c, &FrequencySweep::List(vec![1e6, 159.15e6]))
             .unwrap();
         let csv = ac_csv(&c, &res, &[out]);
         assert!(csv.starts_with("freq,mag(out),phase_deg(out)\n"));

@@ -1,6 +1,8 @@
 //! Robustness tests for the simulator: fallback paths, degenerate inputs,
 //! and initialization strategies not covered by the module unit tests.
 
+#![allow(clippy::unwrap_used)]
+
 use std::collections::HashMap;
 
 use prima_spice::analysis::dc::DcSolver;

@@ -1,0 +1,298 @@
+//! Connectivity extraction and netlist diff (LVS-lite).
+//!
+//! The netlist graph is rebuilt from drawn geometry alone: every routed
+//! segment becomes a node, segments that share a point are joined in a
+//! union-find (a layer change at a shared point is an implied via stack),
+//! and each pin must land on some segment of its net. The recovered
+//! connectivity is then diffed against the circuit's expectation:
+//!
+//! * **opens** — a net whose pins end up in more than one component, or a
+//!   pin no wire reaches (a mislabeled port looks exactly like this);
+//! * **shorts** — two different nets drawn on the same detail-routing
+//!   track with overlapping spans;
+//! * **missing** — an expected multi-terminal net with no wiring at all.
+
+use prima_geom::{Point, Rect};
+use prima_pdk::{RouteDir, Technology};
+use prima_route::detail::DetailedResult;
+use prima_route::RoutingResult;
+
+use crate::drc::{touches, UnionFind};
+use crate::{RuleKind, Violation};
+
+/// Diffs drawn connectivity against the expected nets. `routing` drives
+/// the open/missing analysis (global segments pass through the exact pin
+/// points); `detailed` drives the short analysis (tracks carry the final
+/// geometry that can collide).
+pub fn check(
+    tech: &Technology,
+    routing: Option<&RoutingResult>,
+    detailed: Option<&DetailedResult>,
+    pins: &[(String, Vec<Point>)],
+    expected_nets: &[String],
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    if let Some(routing) = routing {
+        out.extend(check_opens(routing, pins, expected_nets));
+    }
+    if let Some(detailed) = detailed {
+        out.extend(check_shorts(tech, detailed));
+    }
+    out
+}
+
+fn pin_list<'p>(pins: &'p [(String, Vec<Point>)], net: &str) -> &'p [Point] {
+    pins.iter()
+        .find(|(n, _)| n == net)
+        .map(|(_, p)| p.as_slice())
+        .unwrap_or(&[])
+}
+
+/// Per-net reachability: all pins of an expected net must sit in one
+/// connected component of its drawn segments.
+fn check_opens(
+    routing: &RoutingResult,
+    pins: &[(String, Vec<Point>)],
+    expected_nets: &[String],
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for net in expected_nets {
+        let net_pins = pin_list(pins, net);
+        let segments: Vec<Rect> = routing
+            .net(net)
+            .map(|r| r.segments.iter().map(|s| Rect::new(s.from, s.to)).collect())
+            .unwrap_or_default();
+
+        if segments.is_empty() {
+            if net_pins.len() >= 2 {
+                out.push(Violation {
+                    rule_id: "LVS.MISSING".to_string(),
+                    kind: RuleKind::Missing,
+                    layer: None,
+                    scope: Some(net.clone()),
+                    rects: Vec::new(),
+                    found: Some(0),
+                    required: Some(net_pins.len() as i64),
+                    message: format!("net {net}: {} pins but no drawn wiring", net_pins.len()),
+                });
+            }
+            continue;
+        }
+
+        // Union segments that share at least a point; a shared point
+        // across layers is an implied via stack.
+        let mut uf = UnionFind::new(segments.len());
+        for i in 0..segments.len() {
+            for j in (i + 1)..segments.len() {
+                if touches(&segments[i], &segments[j]) {
+                    uf.union(i, j);
+                }
+            }
+        }
+
+        // Attach each pin to the component of a segment containing it.
+        let mut reached: Vec<Option<usize>> = Vec::with_capacity(net_pins.len());
+        for &p in net_pins {
+            let hit = segments
+                .iter()
+                .position(|r| r.contains(p))
+                .map(|i| uf.find(i));
+            if hit.is_none() {
+                out.push(Violation {
+                    rule_id: "LVS.OPEN".to_string(),
+                    kind: RuleKind::Open,
+                    layer: None,
+                    scope: Some(net.clone()),
+                    rects: vec![Rect::new(p, p)],
+                    found: None,
+                    required: None,
+                    message: format!(
+                        "net {net}: pin at {p} unreached by any wire (open or mislabeled port)"
+                    ),
+                });
+            }
+            reached.push(hit);
+        }
+
+        // All reached pins must share one component.
+        let components: Vec<usize> = {
+            let mut c: Vec<usize> = reached.iter().flatten().copied().collect();
+            c.sort_unstable();
+            c.dedup();
+            c
+        };
+        if components.len() > 1 {
+            out.push(Violation {
+                rule_id: "LVS.OPEN".to_string(),
+                kind: RuleKind::Open,
+                layer: None,
+                scope: Some(net.clone()),
+                rects: net_pins.iter().map(|&p| Rect::new(p, p)).collect(),
+                found: Some(components.len() as i64),
+                required: Some(1),
+                message: format!(
+                    "net {net}: pins split across {} disconnected wire components",
+                    components.len()
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// Cross-net track collisions: two nets assigned the same (layer, track)
+/// with spans that meet produce overlapping drawn metal — a short.
+fn check_shorts(tech: &Technology, detailed: &DetailedResult) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let a = &detailed.assignments;
+    for i in 0..a.len() {
+        for j in (i + 1)..a.len() {
+            let (x, y) = (&a[i], &a[j]);
+            if x.net == y.net || x.layer != y.layer {
+                continue;
+            }
+            let (xl, xh) = (x.span.0.min(x.span.1), x.span.0.max(x.span.1));
+            let (yl, yh) = (y.span.0.min(y.span.1), y.span.0.max(y.span.1));
+            if xl > yh || yl > xh {
+                continue;
+            }
+            for &t in &x.tracks {
+                if !y.tracks.contains(&t) {
+                    continue;
+                }
+                let m = tech.metal(x.layer);
+                let center = t * m.pitch;
+                let (lo, hi) = (xl.max(yl), xh.min(yh));
+                let rect = match m.dir {
+                    RouteDir::Horizontal => Rect::new(
+                        Point::new(lo, center - m.min_width / 2),
+                        Point::new(hi, center + m.min_width / 2),
+                    ),
+                    RouteDir::Vertical => Rect::new(
+                        Point::new(center - m.min_width / 2, lo),
+                        Point::new(center + m.min_width / 2, hi),
+                    ),
+                };
+                out.push(Violation {
+                    rule_id: "LVS.SHORT".to_string(),
+                    kind: RuleKind::Short,
+                    layer: Some(m.name.clone()),
+                    scope: Some(format!("{} ↔ {}", x.net, y.net)),
+                    rects: vec![rect],
+                    found: Some(0),
+                    required: Some(tech.rules.metal(x.layer).min_space),
+                    message: format!(
+                        "nets {} and {} share {} track {t} with overlapping spans",
+                        x.net, y.net, m.name
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prima_route::detail::TrackAssignment;
+
+    fn pt(x: i64, y: i64) -> Point {
+        Point::new(x, y)
+    }
+
+    #[test]
+    fn shared_track_overlap_is_a_short() {
+        let tech = Technology::finfet7();
+        let detailed = DetailedResult {
+            assignments: vec![
+                TrackAssignment {
+                    net: "a".into(),
+                    layer: 3,
+                    tracks: vec![5],
+                    span: (0, 500),
+                },
+                TrackAssignment {
+                    net: "b".into(),
+                    layer: 3,
+                    tracks: vec![5],
+                    span: (400, 900),
+                },
+            ],
+        };
+        let v = check_shorts(&tech, &detailed);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule_id, "LVS.SHORT");
+        assert_eq!(v[0].layer.as_deref(), Some("M3"));
+    }
+
+    #[test]
+    fn disjoint_spans_and_distinct_tracks_are_clean() {
+        let tech = Technology::finfet7();
+        let detailed = DetailedResult {
+            assignments: vec![
+                TrackAssignment {
+                    net: "a".into(),
+                    layer: 3,
+                    tracks: vec![5],
+                    span: (0, 300),
+                },
+                TrackAssignment {
+                    net: "b".into(),
+                    layer: 3,
+                    tracks: vec![6],
+                    span: (0, 300),
+                },
+                TrackAssignment {
+                    net: "c".into(),
+                    layer: 3,
+                    tracks: vec![5],
+                    span: (301, 600),
+                },
+            ],
+        };
+        assert!(check_shorts(&tech, &detailed).is_empty());
+    }
+
+    #[test]
+    fn unreached_pin_is_an_open() {
+        // One straight wire from (0,0) to (1000,0); the stray pin at
+        // (500, 300) is never touched.
+        let tech = Technology::finfet7();
+        let mut problem = prima_route::RoutingProblem::new();
+        problem.add_net("sig", vec![pt(0, 0), pt(1000, 0)]);
+        let router = prima_route::GlobalRouter::new(&tech);
+        let routing = router.route(&problem).unwrap();
+        let pins = vec![("sig".to_string(), vec![pt(0, 0), pt(1000, 0), pt(500, 300)])];
+        let v = check(&tech, Some(&routing), None, &pins, &["sig".to_string()]);
+        assert!(v.iter().any(|v| v.rule_id == "LVS.OPEN"), "{v:?}");
+    }
+
+    #[test]
+    fn missing_net_reported() {
+        let tech = Technology::finfet7();
+        let mut problem = prima_route::RoutingProblem::new();
+        problem.add_net("other", vec![pt(0, 0), pt(800, 0)]);
+        let router = prima_route::GlobalRouter::new(&tech);
+        let routing = router.route(&problem).unwrap();
+        let pins = vec![("gone".to_string(), vec![pt(0, 0), pt(500, 500)])];
+        let v = check(&tech, Some(&routing), None, &pins, &["gone".to_string()]);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule_id, "LVS.MISSING");
+    }
+
+    #[test]
+    fn routed_l_shapes_connect_their_pins() {
+        let tech = Technology::finfet7();
+        let mut problem = prima_route::RoutingProblem::new();
+        problem.add_net("sig", vec![pt(0, 0), pt(2000, 1500), pt(4000, 200)]);
+        let router = prima_route::GlobalRouter::new(&tech);
+        let routing = router.route(&problem).unwrap();
+        let pins = vec![(
+            "sig".to_string(),
+            vec![pt(0, 0), pt(2000, 1500), pt(4000, 200)],
+        )];
+        let v = check(&tech, Some(&routing), None, &pins, &["sig".to_string()]);
+        assert!(v.is_empty(), "{v:?}");
+    }
+}

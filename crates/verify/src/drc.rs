@@ -1,0 +1,643 @@
+//! Geometric design-rule checking.
+//!
+//! The engine works on flat lists of rectangles per layer. Before any
+//! spacing is measured, touching/overlapping same-net shapes are merged
+//! into connected components with a union-find — abutting shapes (M2 trunk
+//! straps, planar-node fins) form one component and owe each other no
+//! clearance. Pair candidates come from a sweep over shapes sorted by
+//! their left edge, so only neighbours within one spacing window are ever
+//! compared.
+//!
+//! Corner-to-corner clearance uses the Euclidean distance (`dx² + dy²`
+//! against `min_space²`); face-to-face clearance uses the axis gap.
+
+use prima_geom::Rect;
+use prima_layout::{CellGeometry, MaskLayer};
+use prima_pdk::{DesignRules, LayerRule, Nm, RouteDir, Technology};
+use prima_route::detail::DetailedResult;
+
+use crate::{RuleKind, Violation};
+
+/// Plain union-find over shape indices.
+pub(crate) struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    pub(crate) fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+        }
+    }
+
+    pub(crate) fn find(&mut self, i: usize) -> usize {
+        let mut root = i;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        let mut cur = i;
+        while self.parent[cur] != root {
+            let next = self.parent[cur];
+            self.parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+
+    pub(crate) fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+}
+
+/// `true` when the closed rectangles share at least a point (abutment
+/// counts, unlike `Rect::overlaps` which tests open interiors).
+pub(crate) fn touches(a: &Rect, b: &Rect) -> bool {
+    a.lo.x <= b.hi.x && b.lo.x <= a.hi.x && a.lo.y <= b.hi.y && b.lo.y <= a.hi.y
+}
+
+/// One shape fed to the layer checker: geometry plus an optional net
+/// label. Unlabeled shapes merge freely on touch; labeled shapes merge
+/// only with the same net, and overlap across nets is a short.
+#[derive(Debug, Clone)]
+pub struct Shape {
+    /// Shape geometry.
+    pub rect: Rect,
+    /// Net the shape belongs to, when known.
+    pub net: Option<String>,
+}
+
+/// Axis gaps between two disjoint closed rectangles (0 when they touch or
+/// overlap on that axis).
+fn axis_gaps(a: &Rect, b: &Rect) -> (Nm, Nm) {
+    let dx = (b.lo.x - a.hi.x).max(a.lo.x - b.hi.x).max(0);
+    let dy = (b.lo.y - a.hi.y).max(a.lo.y - b.hi.y).max(0);
+    (dx, dy)
+}
+
+/// Which quantitative checks [`check_layer`] should run.
+#[derive(Debug, Clone, Copy)]
+pub struct LayerChecks {
+    /// Check each shape's short side against `min_width`.
+    pub width: bool,
+    /// Check merged components against `min_area_nm2`.
+    pub area: bool,
+    /// Check clearance between components against `min_space`.
+    pub spacing: bool,
+}
+
+impl Default for LayerChecks {
+    fn default() -> Self {
+        LayerChecks {
+            width: true,
+            area: true,
+            spacing: true,
+        }
+    }
+}
+
+/// Core single-layer engine: merges touching same-net shapes, then runs
+/// the enabled width / area / spacing checks and reports cross-net
+/// overlaps as shorts. `scope` labels the diagnostics (cell instance or
+/// `"routing"`).
+pub fn check_layer(
+    layer: &str,
+    rule: &LayerRule,
+    shapes: &[Shape],
+    checks: LayerChecks,
+    scope: &str,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+
+    if checks.width {
+        for s in shapes {
+            let short_side = s.rect.width().min(s.rect.height());
+            if short_side < rule.min_width {
+                out.push(Violation {
+                    rule_id: format!("{layer}.WIDTH"),
+                    kind: RuleKind::Width,
+                    layer: Some(layer.to_string()),
+                    scope: Some(scope.to_string()),
+                    rects: vec![s.rect],
+                    found: Some(short_side),
+                    required: Some(rule.min_width),
+                    message: format!("{scope}: {layer} shape {} below minimum width", s.rect),
+                });
+            }
+        }
+    }
+
+    // Sort by left edge once; both the merge sweep and the spacing sweep
+    // walk the same order and stop as soon as the window closes.
+    let mut order: Vec<usize> = (0..shapes.len()).collect();
+    order.sort_by_key(|&i| (shapes[i].rect.lo.x, shapes[i].rect.lo.y));
+
+    let mut uf = UnionFind::new(shapes.len());
+    for (oi, &i) in order.iter().enumerate() {
+        for &j in order.iter().skip(oi + 1) {
+            if shapes[j].rect.lo.x > shapes[i].rect.hi.x {
+                break;
+            }
+            if shapes[i].net == shapes[j].net && touches(&shapes[i].rect, &shapes[j].rect) {
+                uf.union(i, j);
+            }
+        }
+    }
+
+    if checks.spacing {
+        for (oi, &i) in order.iter().enumerate() {
+            for &j in order.iter().skip(oi + 1) {
+                if shapes[j].rect.lo.x > shapes[i].rect.hi.x + rule.min_space {
+                    break;
+                }
+                if uf.find(i) == uf.find(j) {
+                    continue;
+                }
+                let (a, b) = (&shapes[i], &shapes[j]);
+                if a.rect.overlaps(&b.rect) {
+                    // Only reachable across nets: same-net (and unlabeled)
+                    // overlaps were merged above.
+                    out.push(Violation {
+                        rule_id: format!("{layer}.SHORT"),
+                        kind: RuleKind::Short,
+                        layer: Some(layer.to_string()),
+                        scope: Some(scope.to_string()),
+                        rects: vec![a.rect, b.rect],
+                        found: Some(0),
+                        required: Some(rule.min_space),
+                        message: format!(
+                            "{scope}: {layer} shapes of nets {:?} and {:?} overlap",
+                            a.net.as_deref().unwrap_or("?"),
+                            b.net.as_deref().unwrap_or("?"),
+                        ),
+                    });
+                    continue;
+                }
+                let (dx, dy) = axis_gaps(&a.rect, &b.rect);
+                let violated = if dx > 0 && dy > 0 {
+                    dx * dx + dy * dy < rule.min_space * rule.min_space
+                } else {
+                    dx.max(dy) < rule.min_space
+                };
+                if violated {
+                    let found = if dx > 0 && dy > 0 {
+                        ((dx * dx + dy * dy) as f64).sqrt().floor() as Nm
+                    } else {
+                        dx.max(dy)
+                    };
+                    out.push(Violation {
+                        rule_id: format!("{layer}.SPACE"),
+                        kind: RuleKind::Spacing,
+                        layer: Some(layer.to_string()),
+                        scope: Some(scope.to_string()),
+                        rects: vec![a.rect, b.rect],
+                        found: Some(found),
+                        required: Some(rule.min_space),
+                        message: format!("{scope}: {layer} clearance below minimum spacing"),
+                    });
+                }
+            }
+        }
+    }
+
+    if checks.area {
+        // Component area as the sum of member areas: exact for the abutting
+        // tilings the generators draw, and an upper bound otherwise — a
+        // component flagged here is under-area for certain.
+        let mut areas: Vec<i128> = vec![0; shapes.len()];
+        let mut sample: Vec<Option<Rect>> = vec![None; shapes.len()];
+        for (i, s) in shapes.iter().enumerate() {
+            let root = uf.find(i);
+            areas[root] += s.rect.area();
+            sample[root].get_or_insert(s.rect);
+        }
+        for i in 0..shapes.len() {
+            if uf.find(i) != i {
+                continue;
+            }
+            if areas[i] < rule.min_area_nm2 as i128 {
+                out.push(Violation {
+                    rule_id: format!("{layer}.AREA"),
+                    kind: RuleKind::Area,
+                    layer: Some(layer.to_string()),
+                    scope: Some(scope.to_string()),
+                    rects: sample[i].into_iter().collect(),
+                    found: Some(areas[i].min(i64::MAX as i128) as i64),
+                    required: Some(rule.min_area_nm2),
+                    message: format!("{scope}: {layer} component below minimum area"),
+                });
+            }
+        }
+    }
+
+    out
+}
+
+fn mask_rule(rules: &DesignRules, layer: MaskLayer) -> Option<(&'static str, &LayerRule)> {
+    match layer {
+        MaskLayer::Diffusion => rules.feol("diff").map(|r| ("diff", r)),
+        MaskLayer::Fin => rules.feol("fin").map(|r| ("fin", r)),
+        MaskLayer::Poly | MaskLayer::DummyPoly => rules.feol("poly").map(|r| ("poly", r)),
+        MaskLayer::M1 => rules.metal.first().map(|r| ("M1", r)),
+        MaskLayer::M2 => rules.metal.get(1).map(|r| ("M2", r)),
+        MaskLayer::Boundary => None,
+    }
+}
+
+/// Checks one rendered cell (cell-local coordinates) against the deck:
+/// width/space/area per layer plus the in-cell placement grids. Dummy poly
+/// is checked together with active poly — the mask does not distinguish
+/// them.
+pub fn check_cell(rules: &DesignRules, geometry: &CellGeometry, instance: &str) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let layer_names: [(&str, &[MaskLayer]); 5] = [
+        ("diff", &[MaskLayer::Diffusion]),
+        ("fin", &[MaskLayer::Fin]),
+        ("poly", &[MaskLayer::Poly, MaskLayer::DummyPoly]),
+        ("M1", &[MaskLayer::M1]),
+        ("M2", &[MaskLayer::M2]),
+    ];
+    for (name, masks) in layer_names {
+        let shapes: Vec<Shape> = geometry
+            .rects
+            .iter()
+            .filter(|(l, _)| masks.contains(l))
+            .map(|(_, r)| Shape {
+                rect: *r,
+                net: None,
+            })
+            .collect();
+        if shapes.is_empty() {
+            continue;
+        }
+        let Some((_, rule)) = mask_rule(rules, masks[0]) else {
+            continue;
+        };
+        out.extend(check_layer(
+            name,
+            rule,
+            &shapes,
+            LayerChecks::default(),
+            instance,
+        ));
+
+        if let Some(grid) = rules.grid(name) {
+            for s in &shapes {
+                if (s.rect.lo.x - grid.offset).rem_euclid(grid.pitch) != 0 {
+                    out.push(Violation {
+                        rule_id: format!("{name}.GRID"),
+                        kind: RuleKind::Grid,
+                        layer: Some(name.to_string()),
+                        scope: Some(instance.to_string()),
+                        rects: vec![s.rect],
+                        found: Some((s.rect.lo.x - grid.offset).rem_euclid(grid.pitch)),
+                        required: Some(0),
+                        message: format!(
+                            "{instance}: {name} shape off the {}-nm column grid",
+                            grid.pitch
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    // Manufacturing grid: every drawn coordinate a multiple of grid_nm.
+    if rules.grid_nm > 1 {
+        for (l, r) in &geometry.rects {
+            let coords = [r.lo.x, r.lo.y, r.hi.x, r.hi.y];
+            if coords.iter().any(|c| c.rem_euclid(rules.grid_nm) != 0) {
+                out.push(Violation {
+                    rule_id: "MFG.GRID".to_string(),
+                    kind: RuleKind::Grid,
+                    layer: Some(format!("{l:?}")),
+                    scope: Some(instance.to_string()),
+                    rects: vec![*r],
+                    found: None,
+                    required: Some(rules.grid_nm),
+                    message: format!("{instance}: shape off the manufacturing grid"),
+                });
+            }
+        }
+    }
+
+    out
+}
+
+/// Checks that placed cell outlines never overlap (abutment is legal).
+pub fn check_placement(outlines: &[(String, Rect)]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mut order: Vec<usize> = (0..outlines.len()).collect();
+    order.sort_by_key(|&i| outlines[i].1.lo.x);
+    for (oi, &i) in order.iter().enumerate() {
+        for &j in order.iter().skip(oi + 1) {
+            if outlines[j].1.lo.x >= outlines[i].1.hi.x {
+                break;
+            }
+            if outlines[i].1.overlaps(&outlines[j].1) {
+                out.push(Violation {
+                    rule_id: "PLACE.OVERLAP".to_string(),
+                    kind: RuleKind::Placement,
+                    layer: None,
+                    scope: None,
+                    rects: vec![outlines[i].1, outlines[j].1],
+                    found: None,
+                    required: None,
+                    message: format!(
+                        "placed outlines of {} and {} overlap",
+                        outlines[i].0, outlines[j].0
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// One detail-routed wire expanded to drawn metal: the track centerline
+/// swelled to the layer's minimum width over the assignment's span.
+#[derive(Debug, Clone)]
+pub struct Wire {
+    /// Net the wire belongs to.
+    pub net: String,
+    /// 1-based metal layer.
+    pub layer: usize,
+    /// Drawn rectangle (chip coordinates).
+    pub rect: Rect,
+}
+
+/// Expands every track assignment of a detail-routing result into drawn
+/// wire rectangles.
+pub fn wire_rects(tech: &Technology, detailed: &DetailedResult) -> Vec<Wire> {
+    let mut wires = Vec::new();
+    for a in &detailed.assignments {
+        let m = tech.metal(a.layer);
+        let half = m.min_width / 2;
+        let (lo, hi) = (a.span.0.min(a.span.1), a.span.0.max(a.span.1));
+        for &t in &a.tracks {
+            let center = t * m.pitch;
+            let rect = match m.dir {
+                RouteDir::Horizontal => Rect::new(
+                    prima_geom::Point::new(lo, center - half),
+                    prima_geom::Point::new(hi, center - half + m.min_width),
+                ),
+                RouteDir::Vertical => Rect::new(
+                    prima_geom::Point::new(center - half, lo),
+                    prima_geom::Point::new(center - half + m.min_width, hi),
+                ),
+            };
+            wires.push(Wire {
+                net: a.net.clone(),
+                layer: a.layer,
+                rect,
+            });
+        }
+    }
+    wires
+}
+
+/// Checks detail-routed wires: per-layer spacing/shorts between nets, and
+/// via enclosure wherever same-net wires on adjacent layers cross.
+///
+/// Width and area checks are skipped — wires are drawn at exactly minimum
+/// width by construction, and a via landing shorter than `min_area /
+/// min_width` is legitimate wiring, not a mask defect.
+pub fn check_routing(tech: &Technology, wires: &[Wire]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for layer in 1..=tech.metal_count() {
+        let shapes: Vec<Shape> = wires
+            .iter()
+            .filter(|w| w.layer == layer)
+            .map(|w| Shape {
+                rect: w.rect,
+                net: Some(w.net.clone()),
+            })
+            .collect();
+        if shapes.is_empty() {
+            continue;
+        }
+        let rule = tech.rules.metal(layer);
+        out.extend(check_layer(
+            &rule.layer.clone(),
+            rule,
+            &shapes,
+            LayerChecks {
+                width: false,
+                area: false,
+                spacing: true,
+            },
+            "routing",
+        ));
+    }
+    out.extend(check_vias(tech, wires));
+    out
+}
+
+/// Half-width end extension of a wire rectangle along its routing
+/// direction — the drawn past-the-via metal a real router adds, and what
+/// the enclosure rule measures against.
+fn extended(tech: &Technology, w: &Wire) -> Rect {
+    let half = tech.metal(w.layer).min_width / 2;
+    match tech.metal(w.layer).dir {
+        RouteDir::Horizontal => Rect::new(
+            prima_geom::Point::new(w.rect.lo.x - half, w.rect.lo.y),
+            prima_geom::Point::new(w.rect.hi.x + half, w.rect.hi.y),
+        ),
+        RouteDir::Vertical => Rect::new(
+            prima_geom::Point::new(w.rect.lo.x, w.rect.lo.y - half),
+            prima_geom::Point::new(w.rect.hi.x, w.rect.hi.y + half),
+        ),
+    }
+}
+
+/// Via-enclosure check: wherever two wires of the same net on adjacent
+/// layers cross with at least a cut-sized landing, a via is implied; the
+/// overlap region (with end extensions) must then cover the cut plus its
+/// enclosure on every side.
+///
+/// Grazing touches smaller than the cut are not via sites — the detailed
+/// router's track shifts routinely leave same-net wires brushing past each
+/// other where no connection was intended.
+pub fn check_vias(tech: &Technology, wires: &[Wire]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (i, a) in wires.iter().enumerate() {
+        for b in wires.iter().skip(i + 1) {
+            if a.net != b.net || a.layer.abs_diff(b.layer) != 1 {
+                continue;
+            }
+            if !touches(&a.rect, &b.rect) {
+                continue;
+            }
+            let lower = a.layer.min(b.layer);
+            let via = tech.rules.via(lower);
+            let ox = a.rect.hi.x.min(b.rect.hi.x) - a.rect.lo.x.max(b.rect.lo.x);
+            let oy = a.rect.hi.y.min(b.rect.hi.y) - a.rect.lo.y.max(b.rect.lo.y);
+            if ox.min(oy) < via.cut {
+                continue;
+            }
+            let (ra, rb) = (extended(tech, a), extended(tech, b));
+            let overlap = Rect::new(
+                prima_geom::Point::new(ra.lo.x.max(rb.lo.x), ra.lo.y.max(rb.lo.y)),
+                prima_geom::Point::new(ra.hi.x.min(rb.hi.x), ra.hi.y.min(rb.hi.y)),
+            );
+            let need = via.cut + 2 * via.enclosure;
+            let found = overlap.width().min(overlap.height());
+            if found < need {
+                out.push(Violation {
+                    rule_id: format!("V{lower}.ENC"),
+                    kind: RuleKind::Enclosure,
+                    layer: Some(format!("V{lower}")),
+                    scope: Some(a.net.clone()),
+                    rects: vec![a.rect, b.rect],
+                    found: Some(found),
+                    required: Some(need),
+                    message: format!(
+                        "net {}: implied V{lower} via landing too small for cut + enclosure",
+                        a.net
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prima_geom::Point;
+
+    fn rect(x0: Nm, y0: Nm, x1: Nm, y1: Nm) -> Rect {
+        Rect::new(Point::new(x0, y0), Point::new(x1, y1))
+    }
+
+    fn rule(layer: &str, w: Nm, s: Nm, a: i64) -> LayerRule {
+        LayerRule {
+            layer: layer.to_string(),
+            min_width: w,
+            min_space: s,
+            min_area_nm2: a,
+        }
+    }
+
+    fn unlabeled(rects: &[Rect]) -> Vec<Shape> {
+        rects
+            .iter()
+            .map(|&r| Shape { rect: r, net: None })
+            .collect()
+    }
+
+    #[test]
+    fn abutting_shapes_owe_no_spacing() {
+        let r = rule("M2", 20, 20, 400);
+        let shapes = unlabeled(&[rect(0, 0, 100, 20), rect(0, 20, 100, 40)]);
+        let v = check_layer("M2", &r, &shapes, LayerChecks::default(), "t");
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn sub_min_space_is_flagged_with_gap() {
+        let r = rule("M1", 18, 18, 324);
+        let shapes = unlabeled(&[rect(0, 0, 18, 100), rect(28, 0, 46, 100)]);
+        let v = check_layer("M1", &r, &shapes, LayerChecks::default(), "t");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule_id, "M1.SPACE");
+        assert_eq!(v[0].found, Some(10));
+        assert_eq!(v[0].required, Some(18));
+    }
+
+    #[test]
+    fn corner_clearance_is_euclidean() {
+        let r = rule("M1", 18, 18, 324);
+        // Diagonal gap (13, 13): 13² + 13² = 338 > 324 = 18² → legal,
+        // although the Chebyshev gap (13) is below min_space.
+        let shapes = unlabeled(&[rect(0, 0, 20, 20), rect(33, 33, 53, 53)]);
+        let v = check_layer("M1", &r, &shapes, LayerChecks::default(), "t");
+        assert!(v.is_empty(), "{v:?}");
+        // Diagonal gap (12, 12): 288 < 324 → violation.
+        let shapes = unlabeled(&[rect(0, 0, 20, 20), rect(32, 32, 52, 52)]);
+        let v = check_layer("M1", &r, &shapes, LayerChecks::default(), "t");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule_id, "M1.SPACE");
+        assert_eq!(v[0].found, Some(16)); // ⌊√288⌋
+    }
+
+    #[test]
+    fn cross_net_overlap_is_a_short() {
+        let r = rule("M3", 24, 24, 576);
+        let shapes = vec![
+            Shape {
+                rect: rect(0, 0, 24, 200),
+                net: Some("a".into()),
+            },
+            Shape {
+                rect: rect(10, 50, 300, 74),
+                net: Some("b".into()),
+            },
+        ];
+        let v = check_layer(
+            "M3",
+            &r,
+            &shapes,
+            LayerChecks {
+                width: false,
+                area: false,
+                spacing: true,
+            },
+            "t",
+        );
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule_id, "M3.SHORT");
+        assert_eq!(v[0].kind, RuleKind::Short);
+    }
+
+    #[test]
+    fn width_and_area_fire_with_measurements() {
+        let r = rule("poly", 14, 40, 196);
+        let shapes = unlabeled(&[rect(0, 0, 10, 300)]);
+        let v = check_layer("poly", &r, &shapes, LayerChecks::default(), "t");
+        assert!(v.iter().any(|v| v.rule_id == "poly.WIDTH"));
+        let shapes = unlabeled(&[rect(0, 0, 14, 10)]);
+        let v = check_layer("poly", &r, &shapes, LayerChecks::default(), "t");
+        let area = v.iter().find(|v| v.rule_id == "poly.AREA").unwrap();
+        assert_eq!(area.found, Some(140));
+        assert_eq!(area.required, Some(196));
+    }
+
+    #[test]
+    fn placement_overlap_detected_abutment_legal() {
+        let legal = vec![
+            ("a".to_string(), rect(0, 0, 100, 100)),
+            ("b".to_string(), rect(100, 0, 200, 100)),
+        ];
+        assert!(check_placement(&legal).is_empty());
+        let bad = vec![
+            ("a".to_string(), rect(0, 0, 100, 100)),
+            ("b".to_string(), rect(90, 0, 200, 100)),
+        ];
+        let v = check_placement(&bad);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule_id, "PLACE.OVERLAP");
+    }
+
+    #[test]
+    fn rendered_cells_are_clean_on_both_nodes() {
+        use prima_layout::{render, CellConfig, DeviceSpec, PlacementPattern, PrimitiveSpec};
+        use prima_spice::devices::FetPolarity;
+        for tech in [Technology::finfet7(), Technology::bulk16()] {
+            let dp = PrimitiveSpec::new(
+                "dp",
+                vec![
+                    DeviceSpec::new("MA", FetPolarity::Nmos, "da", "ga", "s"),
+                    DeviceSpec::new("MB", FetPolarity::Nmos, "db", "gb", "s"),
+                ],
+            );
+            let cfg = CellConfig::new(8, 20, 6, PlacementPattern::Abba);
+            let geometry = render(&tech, &dp, &cfg).unwrap();
+            let v = check_cell(&tech.rules, &geometry, "dp");
+            assert!(v.is_empty(), "{}: {v:?}", tech.name);
+        }
+    }
+}

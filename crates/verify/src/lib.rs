@@ -1,0 +1,291 @@
+//! # prima-verify
+//!
+//! Static verification of generated layouts — the sign-off pass the flow
+//! runs *without* SPICE:
+//!
+//! * **DRC** ([`drc`]): every rendered primitive cell, the placement, and
+//!   the detail-routed wires are checked against the
+//!   [`prima_pdk::DesignRules`] deck (width, spacing, area, via enclosure,
+//!   placement grids) using a sweep-line pair search over merged
+//!   same-layer shapes.
+//! * **Connectivity / LVS-lite** ([`connectivity`]): the netlist graph is
+//!   rebuilt from drawn geometry (shape overlap plus via adjacency, via a
+//!   union-find) and diffed against the circuit's expected nets to catch
+//!   opens, shorts, and mislabeled ports.
+//! * **Flow lints** ([`lints`]): cost-weight normalization (Eq. 5–6 of the
+//!   paper), aspect-ratio binning, and Algorithm-2 port-interval
+//!   consistency.
+//!
+//! Everything reports structured [`Violation`]s — rule id, layer,
+//! offending rectangles, measured vs. required values — never a bare
+//! boolean, so callers can print actionable diagnostics or count by rule.
+//!
+//! The crate deliberately depends only on the geometry-producing layers
+//! (`geom`, `pdk`, `layout`, `route`); `prima-flow` assembles a
+//! [`FlowArtifacts`] and calls [`check_flow`] as its gate.
+
+#![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
+use std::fmt;
+
+use prima_geom::{Point, Rect};
+use prima_layout::CellGeometry;
+use prima_pdk::Technology;
+use prima_route::detail::DetailedResult;
+use prima_route::RoutingResult;
+use serde::{Deserialize, Serialize};
+
+pub mod connectivity;
+pub mod drc;
+pub mod lints;
+
+/// What kind of check produced a violation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RuleKind {
+    /// Shape narrower than the layer's minimum width.
+    Width,
+    /// Same-layer clearance below minimum spacing.
+    Spacing,
+    /// Connected component below minimum area.
+    Area,
+    /// Shape off its placement grid.
+    Grid,
+    /// Via cut insufficiently enclosed by metal.
+    Enclosure,
+    /// Geometric overlap of shapes on different nets.
+    Short,
+    /// Overlapping placed cell outlines.
+    Placement,
+    /// Net electrically broken (or a pin left unreached).
+    Open,
+    /// Expected net with no drawn wiring at all.
+    Missing,
+    /// Flow-level consistency lint (weights, bins, port intervals).
+    Lint,
+}
+
+impl fmt::Display for RuleKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RuleKind::Width => "width",
+            RuleKind::Spacing => "spacing",
+            RuleKind::Area => "area",
+            RuleKind::Grid => "grid",
+            RuleKind::Enclosure => "enclosure",
+            RuleKind::Short => "short",
+            RuleKind::Placement => "placement",
+            RuleKind::Open => "open",
+            RuleKind::Missing => "missing",
+            RuleKind::Lint => "lint",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One structured diagnostic: which rule failed, where, and by how much.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Violation {
+    /// Stable rule identifier, e.g. `"M2.SPACE"`, `"poly.GRID"`,
+    /// `"V1.ENC"`, `"LVS.OPEN"`, `"LINT.WEIGHTS"`.
+    pub rule_id: String,
+    /// What kind of check fired.
+    pub kind: RuleKind,
+    /// Drawn layer involved, when the rule is geometric.
+    pub layer: Option<String>,
+    /// Cell instance or net the violation belongs to, when known.
+    pub scope: Option<String>,
+    /// Offending rectangles (cell-local for cell DRC, chip coordinates
+    /// for placement/routing checks).
+    pub rects: Vec<Rect>,
+    /// Measured value (nm, nm² for area), when the rule is quantitative.
+    pub found: Option<i64>,
+    /// Required value the measurement failed against.
+    pub required: Option<i64>,
+    /// Human-readable one-line explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.rule_id, self.message)?;
+        if let (Some(found), Some(required)) = (self.found, self.required) {
+            write!(f, " (found {found}, required {required})")?;
+        }
+        Ok(())
+    }
+}
+
+/// Aggregated result of a verification pass.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct VerifyReport {
+    /// Circuit (or cell) the pass ran on.
+    pub circuit: String,
+    /// Names of the checks that actually ran, in order.
+    pub checks_run: Vec<String>,
+    /// All violations found, in discovery order.
+    pub violations: Vec<Violation>,
+    /// Number of nets examined by the connectivity pass.
+    pub nets_checked: usize,
+    /// Number of rectangles examined by the DRC pass.
+    pub rects_checked: usize,
+}
+
+impl VerifyReport {
+    /// `true` when no check fired.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Number of violations of one kind.
+    pub fn count(&self, kind: RuleKind) -> usize {
+        self.violations.iter().filter(|v| v.kind == kind).count()
+    }
+
+    /// `true` if some violation carries the given rule id.
+    pub fn has_rule(&self, rule_id: &str) -> bool {
+        self.violations.iter().any(|v| v.rule_id == rule_id)
+    }
+
+    /// One-line summary suitable for a bench report.
+    pub fn summary(&self) -> String {
+        if self.is_clean() {
+            format!(
+                "{}: clean ({} rects, {} nets, {} checks)",
+                self.circuit,
+                self.rects_checked,
+                self.nets_checked,
+                self.checks_run.len()
+            )
+        } else {
+            format!(
+                "{}: {} violation(s) — drc {} / lvs {} / lint {}",
+                self.circuit,
+                self.violations.len(),
+                self.violations
+                    .iter()
+                    .filter(|v| {
+                        !matches!(
+                            v.kind,
+                            RuleKind::Open | RuleKind::Missing | RuleKind::Short | RuleKind::Lint
+                        )
+                    })
+                    .count(),
+                self.violations
+                    .iter()
+                    .filter(|v| {
+                        matches!(v.kind, RuleKind::Open | RuleKind::Missing | RuleKind::Short)
+                    })
+                    .count(),
+                self.count(RuleKind::Lint),
+            )
+        }
+    }
+
+    fn absorb(&mut self, check: &str, mut violations: Vec<Violation>) {
+        self.checks_run.push(check.to_string());
+        self.violations.append(&mut violations);
+    }
+}
+
+/// One placed primitive cell with (optionally) its rendered mask geometry.
+#[derive(Debug, Clone)]
+pub struct CellArtifact {
+    /// Instance name in the circuit.
+    pub instance: String,
+    /// Placed outline in chip coordinates.
+    pub outline: Rect,
+    /// Rendered mask rectangles in cell-local coordinates (origin at the
+    /// cell's lower-left corner). `None` when rendering was unavailable —
+    /// the cell still participates in placement checks.
+    pub geometry: Option<CellGeometry>,
+}
+
+/// Everything the flow hands to [`check_flow`]: geometry, connectivity
+/// expectations, and lint inputs. Build one with [`FlowArtifacts::new`]
+/// and fill in whatever stages actually ran.
+#[derive(Debug, Clone)]
+pub struct FlowArtifacts<'a> {
+    /// Circuit name, used in diagnostics.
+    pub circuit: String,
+    /// Technology whose `rules` deck is enforced.
+    pub tech: &'a Technology,
+    /// Placed cells (placement DRC + per-cell mask DRC).
+    pub cells: Vec<CellArtifact>,
+    /// Pin positions per net, chip coordinates.
+    pub pins: Vec<(String, Vec<Point>)>,
+    /// Global routing, when available (connectivity fallback).
+    pub routing: Option<&'a RoutingResult>,
+    /// Detail routing, when available (wire DRC + connectivity).
+    pub detailed: Option<&'a DetailedResult>,
+    /// Signal nets with ≥ 2 taps that must come out connected.
+    pub expected_nets: Vec<String>,
+    /// Flow-level lint inputs; leave default to skip lints.
+    pub lints: lints::LintInputs,
+}
+
+impl<'a> FlowArtifacts<'a> {
+    /// Starts an artifact bundle with no geometry attached.
+    pub fn new(circuit: impl Into<String>, tech: &'a Technology) -> Self {
+        FlowArtifacts {
+            circuit: circuit.into(),
+            tech,
+            cells: Vec::new(),
+            pins: Vec::new(),
+            routing: None,
+            detailed: None,
+            expected_nets: Vec::new(),
+            lints: lints::LintInputs::default(),
+        }
+    }
+}
+
+/// Runs every applicable check over the artifacts and returns the full
+/// report. Checks are independent; one failing never hides another.
+pub fn check_flow(artifacts: &FlowArtifacts<'_>) -> VerifyReport {
+    let mut report = VerifyReport {
+        circuit: artifacts.circuit.clone(),
+        ..VerifyReport::default()
+    };
+    let rules = &artifacts.tech.rules;
+
+    let mut rects = 0usize;
+    let mut cell_violations = Vec::new();
+    for cell in &artifacts.cells {
+        if let Some(geometry) = &cell.geometry {
+            rects += geometry.rects.len();
+            cell_violations.extend(drc::check_cell(rules, geometry, &cell.instance));
+        }
+    }
+    report.absorb("drc.cells", cell_violations);
+
+    let outlines: Vec<(String, Rect)> = artifacts
+        .cells
+        .iter()
+        .map(|c| (c.instance.clone(), c.outline))
+        .collect();
+    report.absorb("drc.placement", drc::check_placement(&outlines));
+
+    if let Some(detailed) = artifacts.detailed {
+        let wires = drc::wire_rects(artifacts.tech, detailed);
+        rects += wires.len();
+        report.absorb("drc.routing", drc::check_routing(artifacts.tech, &wires));
+    }
+    if artifacts.routing.is_some() || artifacts.detailed.is_some() {
+        report.absorb(
+            "lvs.connectivity",
+            connectivity::check(
+                artifacts.tech,
+                artifacts.routing,
+                artifacts.detailed,
+                &artifacts.pins,
+                &artifacts.expected_nets,
+            ),
+        );
+        report.nets_checked = artifacts.expected_nets.len();
+    }
+    report.rects_checked = rects;
+
+    report.absorb("lints", lints::check_lints(&artifacts.lints));
+    report
+}

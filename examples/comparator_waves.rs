@@ -5,6 +5,8 @@
 //! Run with `cargo run --release --example comparator_waves`; files land in
 //! the current directory.
 
+#![allow(clippy::unwrap_used)]
+
 use prima_flow::circuits::StrongArm;
 use prima_flow::{build_circuit, optimized_flow};
 use prima_layout::render;
@@ -22,8 +24,7 @@ fn main() {
     let flow = optimized_flow(&tech, &lib, &spec, &biases, 42).expect("optimized flow");
 
     // Assemble and drive the comparator the same way the testbench does.
-    let mut c = build_circuit(&tech, &lib, &spec.instances, &flow.realization)
-        .expect("assembly");
+    let mut c = build_circuit(&tech, &lib, &spec.instances, &flow.realization).expect("assembly");
     let vdd = tech.vdd;
     let vdd_ext = c.find_node("vdd_ext").expect("rail");
     c.vsource("VDD", vdd_ext, Circuit::GROUND, vdd);
@@ -54,8 +55,7 @@ fn main() {
     let res = TranSolver::new(0.5e-12, 2.2e-9)
         .solve(&c)
         .expect("transient");
-    let nodes = ["clk", "outp", "outn", "xa", "xb"]
-        .map(|n| c.find_node(n).expect("net exists"));
+    let nodes = ["clk", "outp", "outn", "xa", "xb"].map(|n| c.find_node(n).expect("net exists"));
     let csv = report::tran_csv(&c, &res, &nodes);
     std::fs::write("strongarm_waves.csv", &csv).expect("write csv");
     println!(

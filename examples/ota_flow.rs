@@ -4,6 +4,8 @@
 //!
 //! Run with `cargo run --release --example ota_flow`.
 
+#![allow(clippy::unwrap_used)]
+
 use prima_flow::circuits::FiveTOta;
 use prima_flow::{conventional_flow, optimized_flow, Realization};
 use prima_pdk::Technology;
@@ -41,7 +43,11 @@ fn main() {
         opt.sims["selection"], opt.sims["tuning"], opt.sims["ports"]
     );
     for (net, wire) in &opt.realization.net_wires {
-        println!("  net {net}: R = {:.1} Ω, C = {:.2} fF", wire.r_ohm, wire.c_f * 1e15);
+        println!(
+            "  net {net}: R = {:.1} Ω, C = {:.2} fF",
+            wire.r_ohm,
+            wire.c_f * 1e15
+        );
     }
 
     // The headline shape: the optimized flow tracks the schematic more

@@ -4,6 +4,8 @@
 //! Usage: `cargo run --release --example primitive_explorer [name] [fins]`
 //! e.g. `cargo run --release --example primitive_explorer cm_1to8 288`.
 
+#![allow(clippy::unwrap_used)]
+
 use prima_core::{enumerate_configs, Optimizer, Phase};
 use prima_layout::generate;
 use prima_pdk::Technology;
@@ -12,10 +14,7 @@ use prima_primitives::{Bias, Library};
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let name = args.get(1).map(String::as_str).unwrap_or("cm");
-    let fins: u64 = args
-        .get(2)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(192);
+    let fins: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(192);
 
     let tech = Technology::finfet7();
     let lib = Library::standard();

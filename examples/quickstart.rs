@@ -6,6 +6,8 @@
 //!
 //! Run with `cargo run --release --example quickstart`.
 
+#![allow(clippy::unwrap_used)]
+
 use prima_core::{enumerate_configs, Optimizer, Phase};
 use prima_pdk::Technology;
 use prima_primitives::{Bias, Library};

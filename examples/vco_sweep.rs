@@ -4,6 +4,8 @@
 //! Run with `cargo run --release --example vco_sweep` (this drives long
 //! transient simulations; expect minutes).
 
+#![allow(clippy::unwrap_used)]
+
 use prima_flow::circuits::RoVco;
 use prima_flow::{conventional_flow, optimized_flow, Realization};
 use prima_pdk::Technology;

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam-12dec271cf4a430c.d: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-12dec271cf4a430c.rmeta: vendor/crossbeam/src/lib.rs
+
+vendor/crossbeam/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/crossbeam-4103a0df8e4e5937.d: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-4103a0df8e4e5937.rlib: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-4103a0df8e4e5937.rmeta: vendor/crossbeam/src/lib.rs
+
+vendor/crossbeam/src/lib.rs:

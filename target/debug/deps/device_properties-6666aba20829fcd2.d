@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/device_properties-6666aba20829fcd2.d: crates/spice/tests/device_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdevice_properties-6666aba20829fcd2.rmeta: crates/spice/tests/device_properties.rs Cargo.toml
+
+crates/spice/tests/device_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

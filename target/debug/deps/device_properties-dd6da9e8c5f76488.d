@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/device_properties-dd6da9e8c5f76488.d: crates/spice/tests/device_properties.rs
+
+/root/repo/target/debug/deps/device_properties-dd6da9e8c5f76488: crates/spice/tests/device_properties.rs
+
+crates/spice/tests/device_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/drc_lvs-32e23dff8f64072b.d: crates/integration/../../tests/drc_lvs.rs
+
+/root/repo/target/debug/deps/drc_lvs-32e23dff8f64072b: crates/integration/../../tests/drc_lvs.rs
+
+crates/integration/../../tests/drc_lvs.rs:

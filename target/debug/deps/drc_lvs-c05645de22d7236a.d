@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/drc_lvs-c05645de22d7236a.d: crates/integration/../../tests/drc_lvs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdrc_lvs-c05645de22d7236a.rmeta: crates/integration/../../tests/drc_lvs.rs Cargo.toml
+
+crates/integration/../../tests/drc_lvs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-30c5e1b7ce0b0642.d: crates/integration/../../tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-30c5e1b7ce0b0642: crates/integration/../../tests/end_to_end.rs
+
+crates/integration/../../tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-607bd4e7834a187c.d: crates/integration/../../tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-607bd4e7834a187c: crates/integration/../../tests/end_to_end.rs
+
+crates/integration/../../tests/end_to_end.rs:

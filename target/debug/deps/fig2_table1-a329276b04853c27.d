@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_table1-a329276b04853c27.d: crates/bench/benches/fig2_table1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_table1-a329276b04853c27.rmeta: crates/bench/benches/fig2_table1.rs Cargo.toml
+
+crates/bench/benches/fig2_table1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

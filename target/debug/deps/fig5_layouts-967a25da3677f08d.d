@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_layouts-967a25da3677f08d.d: crates/bench/benches/fig5_layouts.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_layouts-967a25da3677f08d.rmeta: crates/bench/benches/fig5_layouts.rs Cargo.toml
+
+crates/bench/benches/fig5_layouts.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

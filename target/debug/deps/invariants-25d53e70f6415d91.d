@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/invariants-25d53e70f6415d91.d: crates/integration/../../tests/invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinvariants-25d53e70f6415d91.rmeta: crates/integration/../../tests/invariants.rs Cargo.toml
+
+crates/integration/../../tests/invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/invariants-75c4981f56e86558.d: crates/integration/../../tests/invariants.rs
+
+/root/repo/target/debug/deps/invariants-75c4981f56e86558: crates/integration/../../tests/invariants.rs
+
+crates/integration/../../tests/invariants.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/invariants-d41c5e2d2d457b92.d: crates/integration/../../tests/invariants.rs
+
+/root/repo/target/debug/deps/invariants-d41c5e2d2d457b92: crates/integration/../../tests/invariants.rs
+
+crates/integration/../../tests/invariants.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-496040c6390f7358.d: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-496040c6390f7358.rmeta: vendor/parking_lot/src/lib.rs
+
+vendor/parking_lot/src/lib.rs:

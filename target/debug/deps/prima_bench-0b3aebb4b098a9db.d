@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prima_bench-0b3aebb4b098a9db.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/prima_bench-0b3aebb4b098a9db: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

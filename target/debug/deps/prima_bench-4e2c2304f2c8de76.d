@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/prima_bench-4e2c2304f2c8de76.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libprima_bench-4e2c2304f2c8de76.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libprima_bench-4e2c2304f2c8de76.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

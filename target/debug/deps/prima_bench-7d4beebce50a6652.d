@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prima_bench-7d4beebce50a6652.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprima_bench-7d4beebce50a6652.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

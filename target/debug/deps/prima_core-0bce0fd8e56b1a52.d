@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/prima_core-0bce0fd8e56b1a52.d: crates/core/src/lib.rs crates/core/src/accounting.rs crates/core/src/cost.rs crates/core/src/ports.rs crates/core/src/selection.rs crates/core/src/tuning.rs
+
+/root/repo/target/debug/deps/libprima_core-0bce0fd8e56b1a52.rlib: crates/core/src/lib.rs crates/core/src/accounting.rs crates/core/src/cost.rs crates/core/src/ports.rs crates/core/src/selection.rs crates/core/src/tuning.rs
+
+/root/repo/target/debug/deps/libprima_core-0bce0fd8e56b1a52.rmeta: crates/core/src/lib.rs crates/core/src/accounting.rs crates/core/src/cost.rs crates/core/src/ports.rs crates/core/src/selection.rs crates/core/src/tuning.rs
+
+crates/core/src/lib.rs:
+crates/core/src/accounting.rs:
+crates/core/src/cost.rs:
+crates/core/src/ports.rs:
+crates/core/src/selection.rs:
+crates/core/src/tuning.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/prima_core-86e4b852c0ca251f.d: crates/core/src/lib.rs crates/core/src/accounting.rs crates/core/src/cost.rs crates/core/src/ports.rs crates/core/src/selection.rs crates/core/src/tuning.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprima_core-86e4b852c0ca251f.rmeta: crates/core/src/lib.rs crates/core/src/accounting.rs crates/core/src/cost.rs crates/core/src/ports.rs crates/core/src/selection.rs crates/core/src/tuning.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/accounting.rs:
+crates/core/src/cost.rs:
+crates/core/src/ports.rs:
+crates/core/src/selection.rs:
+crates/core/src/tuning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/prima_core-bf5ce73e73a244a8.d: crates/core/src/lib.rs crates/core/src/accounting.rs crates/core/src/cost.rs crates/core/src/ports.rs crates/core/src/selection.rs crates/core/src/tuning.rs
+
+/root/repo/target/debug/deps/libprima_core-bf5ce73e73a244a8.rlib: crates/core/src/lib.rs crates/core/src/accounting.rs crates/core/src/cost.rs crates/core/src/ports.rs crates/core/src/selection.rs crates/core/src/tuning.rs
+
+/root/repo/target/debug/deps/libprima_core-bf5ce73e73a244a8.rmeta: crates/core/src/lib.rs crates/core/src/accounting.rs crates/core/src/cost.rs crates/core/src/ports.rs crates/core/src/selection.rs crates/core/src/tuning.rs
+
+crates/core/src/lib.rs:
+crates/core/src/accounting.rs:
+crates/core/src/cost.rs:
+crates/core/src/ports.rs:
+crates/core/src/selection.rs:
+crates/core/src/tuning.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/prima_core-db794df671e4c075.d: crates/core/src/lib.rs crates/core/src/accounting.rs crates/core/src/cost.rs crates/core/src/ports.rs crates/core/src/selection.rs crates/core/src/tuning.rs
+
+/root/repo/target/debug/deps/prima_core-db794df671e4c075: crates/core/src/lib.rs crates/core/src/accounting.rs crates/core/src/cost.rs crates/core/src/ports.rs crates/core/src/selection.rs crates/core/src/tuning.rs
+
+crates/core/src/lib.rs:
+crates/core/src/accounting.rs:
+crates/core/src/cost.rs:
+crates/core/src/ports.rs:
+crates/core/src/selection.rs:
+crates/core/src/tuning.rs:

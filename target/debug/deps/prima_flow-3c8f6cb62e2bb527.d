@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/prima_flow-3c8f6cb62e2bb527.d: crates/flow/src/lib.rs crates/flow/src/builder.rs crates/flow/src/circuits.rs crates/flow/src/circuits/cs_amp.rs crates/flow/src/circuits/ota.rs crates/flow/src/circuits/strongarm.rs crates/flow/src/circuits/vco.rs crates/flow/src/flows.rs
+
+/root/repo/target/debug/deps/prima_flow-3c8f6cb62e2bb527: crates/flow/src/lib.rs crates/flow/src/builder.rs crates/flow/src/circuits.rs crates/flow/src/circuits/cs_amp.rs crates/flow/src/circuits/ota.rs crates/flow/src/circuits/strongarm.rs crates/flow/src/circuits/vco.rs crates/flow/src/flows.rs
+
+crates/flow/src/lib.rs:
+crates/flow/src/builder.rs:
+crates/flow/src/circuits.rs:
+crates/flow/src/circuits/cs_amp.rs:
+crates/flow/src/circuits/ota.rs:
+crates/flow/src/circuits/strongarm.rs:
+crates/flow/src/circuits/vco.rs:
+crates/flow/src/flows.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/prima_flow-82240ce5f7386987.d: crates/flow/src/lib.rs crates/flow/src/builder.rs crates/flow/src/circuits.rs crates/flow/src/circuits/cs_amp.rs crates/flow/src/circuits/ota.rs crates/flow/src/circuits/strongarm.rs crates/flow/src/circuits/vco.rs crates/flow/src/flows.rs
+
+/root/repo/target/debug/deps/libprima_flow-82240ce5f7386987.rlib: crates/flow/src/lib.rs crates/flow/src/builder.rs crates/flow/src/circuits.rs crates/flow/src/circuits/cs_amp.rs crates/flow/src/circuits/ota.rs crates/flow/src/circuits/strongarm.rs crates/flow/src/circuits/vco.rs crates/flow/src/flows.rs
+
+/root/repo/target/debug/deps/libprima_flow-82240ce5f7386987.rmeta: crates/flow/src/lib.rs crates/flow/src/builder.rs crates/flow/src/circuits.rs crates/flow/src/circuits/cs_amp.rs crates/flow/src/circuits/ota.rs crates/flow/src/circuits/strongarm.rs crates/flow/src/circuits/vco.rs crates/flow/src/flows.rs
+
+crates/flow/src/lib.rs:
+crates/flow/src/builder.rs:
+crates/flow/src/circuits.rs:
+crates/flow/src/circuits/cs_amp.rs:
+crates/flow/src/circuits/ota.rs:
+crates/flow/src/circuits/strongarm.rs:
+crates/flow/src/circuits/vco.rs:
+crates/flow/src/flows.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/prima_flow-d47b3e4b78667ea6.d: crates/flow/src/lib.rs crates/flow/src/builder.rs crates/flow/src/circuits.rs crates/flow/src/circuits/cs_amp.rs crates/flow/src/circuits/ota.rs crates/flow/src/circuits/strongarm.rs crates/flow/src/circuits/vco.rs crates/flow/src/flows.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprima_flow-d47b3e4b78667ea6.rmeta: crates/flow/src/lib.rs crates/flow/src/builder.rs crates/flow/src/circuits.rs crates/flow/src/circuits/cs_amp.rs crates/flow/src/circuits/ota.rs crates/flow/src/circuits/strongarm.rs crates/flow/src/circuits/vco.rs crates/flow/src/flows.rs Cargo.toml
+
+crates/flow/src/lib.rs:
+crates/flow/src/builder.rs:
+crates/flow/src/circuits.rs:
+crates/flow/src/circuits/cs_amp.rs:
+crates/flow/src/circuits/ota.rs:
+crates/flow/src/circuits/strongarm.rs:
+crates/flow/src/circuits/vco.rs:
+crates/flow/src/flows.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

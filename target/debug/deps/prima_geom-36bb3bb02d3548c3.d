@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prima_geom-36bb3bb02d3548c3.d: crates/geom/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprima_geom-36bb3bb02d3548c3.rmeta: crates/geom/src/lib.rs Cargo.toml
+
+crates/geom/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prima_geom-48c8d444d6fa2795.d: crates/geom/src/lib.rs
+
+/root/repo/target/debug/deps/prima_geom-48c8d444d6fa2795: crates/geom/src/lib.rs
+
+crates/geom/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prima_geom-56bdb876638a6293.d: crates/geom/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprima_geom-56bdb876638a6293.rmeta: crates/geom/src/lib.rs Cargo.toml
+
+crates/geom/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

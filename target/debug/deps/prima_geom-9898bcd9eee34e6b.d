@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/prima_geom-9898bcd9eee34e6b.d: crates/geom/src/lib.rs
+
+/root/repo/target/debug/deps/libprima_geom-9898bcd9eee34e6b.rlib: crates/geom/src/lib.rs
+
+/root/repo/target/debug/deps/libprima_geom-9898bcd9eee34e6b.rmeta: crates/geom/src/lib.rs
+
+crates/geom/src/lib.rs:

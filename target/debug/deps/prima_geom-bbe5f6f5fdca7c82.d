@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/prima_geom-bbe5f6f5fdca7c82.d: crates/geom/src/lib.rs
+
+/root/repo/target/debug/deps/libprima_geom-bbe5f6f5fdca7c82.rlib: crates/geom/src/lib.rs
+
+/root/repo/target/debug/deps/libprima_geom-bbe5f6f5fdca7c82.rmeta: crates/geom/src/lib.rs
+
+crates/geom/src/lib.rs:

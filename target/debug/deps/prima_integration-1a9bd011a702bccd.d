@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prima_integration-1a9bd011a702bccd.d: crates/integration/src/lib.rs
+
+/root/repo/target/debug/deps/prima_integration-1a9bd011a702bccd: crates/integration/src/lib.rs
+
+crates/integration/src/lib.rs:

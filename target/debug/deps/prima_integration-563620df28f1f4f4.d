@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/prima_integration-563620df28f1f4f4.d: crates/integration/src/lib.rs
+
+/root/repo/target/debug/deps/libprima_integration-563620df28f1f4f4.rlib: crates/integration/src/lib.rs
+
+/root/repo/target/debug/deps/libprima_integration-563620df28f1f4f4.rmeta: crates/integration/src/lib.rs
+
+crates/integration/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prima_integration-ac7ac4503473942b.d: crates/integration/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprima_integration-ac7ac4503473942b.rmeta: crates/integration/src/lib.rs Cargo.toml
+
+crates/integration/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

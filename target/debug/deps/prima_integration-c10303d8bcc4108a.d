@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prima_integration-c10303d8bcc4108a.d: crates/integration/src/lib.rs
+
+/root/repo/target/debug/deps/prima_integration-c10303d8bcc4108a: crates/integration/src/lib.rs
+
+crates/integration/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prima_integration-d83a6e84fb34a4b9.d: crates/integration/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprima_integration-d83a6e84fb34a4b9.rmeta: crates/integration/src/lib.rs Cargo.toml
+
+crates/integration/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/prima_layout-044aee1e8fd55c09.d: crates/layout/src/lib.rs crates/layout/src/cell.rs crates/layout/src/extract.rs crates/layout/src/render.rs
+
+/root/repo/target/debug/deps/prima_layout-044aee1e8fd55c09: crates/layout/src/lib.rs crates/layout/src/cell.rs crates/layout/src/extract.rs crates/layout/src/render.rs
+
+crates/layout/src/lib.rs:
+crates/layout/src/cell.rs:
+crates/layout/src/extract.rs:
+crates/layout/src/render.rs:

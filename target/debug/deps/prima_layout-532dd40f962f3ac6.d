@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/prima_layout-532dd40f962f3ac6.d: crates/layout/src/lib.rs crates/layout/src/cell.rs crates/layout/src/extract.rs crates/layout/src/render.rs
+
+/root/repo/target/debug/deps/libprima_layout-532dd40f962f3ac6.rlib: crates/layout/src/lib.rs crates/layout/src/cell.rs crates/layout/src/extract.rs crates/layout/src/render.rs
+
+/root/repo/target/debug/deps/libprima_layout-532dd40f962f3ac6.rmeta: crates/layout/src/lib.rs crates/layout/src/cell.rs crates/layout/src/extract.rs crates/layout/src/render.rs
+
+crates/layout/src/lib.rs:
+crates/layout/src/cell.rs:
+crates/layout/src/extract.rs:
+crates/layout/src/render.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/prima_layout-6bacae29a3e10dfd.d: crates/layout/src/lib.rs crates/layout/src/cell.rs crates/layout/src/extract.rs crates/layout/src/render.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprima_layout-6bacae29a3e10dfd.rmeta: crates/layout/src/lib.rs crates/layout/src/cell.rs crates/layout/src/extract.rs crates/layout/src/render.rs Cargo.toml
+
+crates/layout/src/lib.rs:
+crates/layout/src/cell.rs:
+crates/layout/src/extract.rs:
+crates/layout/src/render.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/prima_layout-e3fddd41f8a78ca1.d: crates/layout/src/lib.rs crates/layout/src/cell.rs crates/layout/src/extract.rs crates/layout/src/render.rs
+
+/root/repo/target/debug/deps/libprima_layout-e3fddd41f8a78ca1.rlib: crates/layout/src/lib.rs crates/layout/src/cell.rs crates/layout/src/extract.rs crates/layout/src/render.rs
+
+/root/repo/target/debug/deps/libprima_layout-e3fddd41f8a78ca1.rmeta: crates/layout/src/lib.rs crates/layout/src/cell.rs crates/layout/src/extract.rs crates/layout/src/render.rs
+
+crates/layout/src/lib.rs:
+crates/layout/src/cell.rs:
+crates/layout/src/extract.rs:
+crates/layout/src/render.rs:

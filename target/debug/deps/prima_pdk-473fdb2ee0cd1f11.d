@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/prima_pdk-473fdb2ee0cd1f11.d: crates/pdk/src/lib.rs
+
+/root/repo/target/debug/deps/libprima_pdk-473fdb2ee0cd1f11.rlib: crates/pdk/src/lib.rs
+
+/root/repo/target/debug/deps/libprima_pdk-473fdb2ee0cd1f11.rmeta: crates/pdk/src/lib.rs
+
+crates/pdk/src/lib.rs:

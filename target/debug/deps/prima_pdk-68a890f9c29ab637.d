@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prima_pdk-68a890f9c29ab637.d: crates/pdk/src/lib.rs
+
+/root/repo/target/debug/deps/prima_pdk-68a890f9c29ab637: crates/pdk/src/lib.rs
+
+crates/pdk/src/lib.rs:

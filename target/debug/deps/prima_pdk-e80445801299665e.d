@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/prima_pdk-e80445801299665e.d: crates/pdk/src/lib.rs
+
+/root/repo/target/debug/deps/libprima_pdk-e80445801299665e.rlib: crates/pdk/src/lib.rs
+
+/root/repo/target/debug/deps/libprima_pdk-e80445801299665e.rmeta: crates/pdk/src/lib.rs
+
+crates/pdk/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prima_pdk-ffdf88e00eef6bc3.d: crates/pdk/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprima_pdk-ffdf88e00eef6bc3.rmeta: crates/pdk/src/lib.rs Cargo.toml
+
+crates/pdk/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prima_place-6900c91f6d0524ba.d: crates/place/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprima_place-6900c91f6d0524ba.rmeta: crates/place/src/lib.rs Cargo.toml
+
+crates/place/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

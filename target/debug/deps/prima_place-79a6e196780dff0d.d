@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prima_place-79a6e196780dff0d.d: crates/place/src/lib.rs
+
+/root/repo/target/debug/deps/prima_place-79a6e196780dff0d: crates/place/src/lib.rs
+
+crates/place/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/prima_place-a616edf1a05c6c07.d: crates/place/src/lib.rs
+
+/root/repo/target/debug/deps/libprima_place-a616edf1a05c6c07.rlib: crates/place/src/lib.rs
+
+/root/repo/target/debug/deps/libprima_place-a616edf1a05c6c07.rmeta: crates/place/src/lib.rs
+
+crates/place/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/prima_place-e9954d0c19463bb7.d: crates/place/src/lib.rs
+
+/root/repo/target/debug/deps/libprima_place-e9954d0c19463bb7.rlib: crates/place/src/lib.rs
+
+/root/repo/target/debug/deps/libprima_place-e9954d0c19463bb7.rmeta: crates/place/src/lib.rs
+
+crates/place/src/lib.rs:

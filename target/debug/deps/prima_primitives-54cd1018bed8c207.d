@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/prima_primitives-54cd1018bed8c207.d: crates/primitives/src/lib.rs crates/primitives/src/bias.rs crates/primitives/src/circuit.rs crates/primitives/src/library.rs crates/primitives/src/metrics.rs crates/primitives/src/montecarlo.rs crates/primitives/src/testbench.rs
+
+/root/repo/target/debug/deps/libprima_primitives-54cd1018bed8c207.rlib: crates/primitives/src/lib.rs crates/primitives/src/bias.rs crates/primitives/src/circuit.rs crates/primitives/src/library.rs crates/primitives/src/metrics.rs crates/primitives/src/montecarlo.rs crates/primitives/src/testbench.rs
+
+/root/repo/target/debug/deps/libprima_primitives-54cd1018bed8c207.rmeta: crates/primitives/src/lib.rs crates/primitives/src/bias.rs crates/primitives/src/circuit.rs crates/primitives/src/library.rs crates/primitives/src/metrics.rs crates/primitives/src/montecarlo.rs crates/primitives/src/testbench.rs
+
+crates/primitives/src/lib.rs:
+crates/primitives/src/bias.rs:
+crates/primitives/src/circuit.rs:
+crates/primitives/src/library.rs:
+crates/primitives/src/metrics.rs:
+crates/primitives/src/montecarlo.rs:
+crates/primitives/src/testbench.rs:

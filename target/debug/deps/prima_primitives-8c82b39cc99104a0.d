@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/prima_primitives-8c82b39cc99104a0.d: crates/primitives/src/lib.rs crates/primitives/src/bias.rs crates/primitives/src/circuit.rs crates/primitives/src/library.rs crates/primitives/src/metrics.rs crates/primitives/src/montecarlo.rs crates/primitives/src/testbench.rs
+
+/root/repo/target/debug/deps/prima_primitives-8c82b39cc99104a0: crates/primitives/src/lib.rs crates/primitives/src/bias.rs crates/primitives/src/circuit.rs crates/primitives/src/library.rs crates/primitives/src/metrics.rs crates/primitives/src/montecarlo.rs crates/primitives/src/testbench.rs
+
+crates/primitives/src/lib.rs:
+crates/primitives/src/bias.rs:
+crates/primitives/src/circuit.rs:
+crates/primitives/src/library.rs:
+crates/primitives/src/metrics.rs:
+crates/primitives/src/montecarlo.rs:
+crates/primitives/src/testbench.rs:

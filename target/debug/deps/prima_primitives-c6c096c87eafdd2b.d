@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/prima_primitives-c6c096c87eafdd2b.d: crates/primitives/src/lib.rs crates/primitives/src/bias.rs crates/primitives/src/circuit.rs crates/primitives/src/library.rs crates/primitives/src/metrics.rs crates/primitives/src/montecarlo.rs crates/primitives/src/testbench.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprima_primitives-c6c096c87eafdd2b.rmeta: crates/primitives/src/lib.rs crates/primitives/src/bias.rs crates/primitives/src/circuit.rs crates/primitives/src/library.rs crates/primitives/src/metrics.rs crates/primitives/src/montecarlo.rs crates/primitives/src/testbench.rs Cargo.toml
+
+crates/primitives/src/lib.rs:
+crates/primitives/src/bias.rs:
+crates/primitives/src/circuit.rs:
+crates/primitives/src/library.rs:
+crates/primitives/src/metrics.rs:
+crates/primitives/src/montecarlo.rs:
+crates/primitives/src/testbench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

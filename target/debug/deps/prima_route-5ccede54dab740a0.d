@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prima_route-5ccede54dab740a0.d: crates/route/src/lib.rs crates/route/src/detail.rs crates/route/src/power.rs
+
+/root/repo/target/debug/deps/libprima_route-5ccede54dab740a0.rlib: crates/route/src/lib.rs crates/route/src/detail.rs crates/route/src/power.rs
+
+/root/repo/target/debug/deps/libprima_route-5ccede54dab740a0.rmeta: crates/route/src/lib.rs crates/route/src/detail.rs crates/route/src/power.rs
+
+crates/route/src/lib.rs:
+crates/route/src/detail.rs:
+crates/route/src/power.rs:

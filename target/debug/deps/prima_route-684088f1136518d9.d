@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/prima_route-684088f1136518d9.d: crates/route/src/lib.rs crates/route/src/detail.rs crates/route/src/power.rs
+
+/root/repo/target/debug/deps/prima_route-684088f1136518d9: crates/route/src/lib.rs crates/route/src/detail.rs crates/route/src/power.rs
+
+crates/route/src/lib.rs:
+crates/route/src/detail.rs:
+crates/route/src/power.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prima_route-81d620f9f0013737.d: crates/route/src/lib.rs crates/route/src/detail.rs crates/route/src/power.rs
+
+/root/repo/target/debug/deps/libprima_route-81d620f9f0013737.rlib: crates/route/src/lib.rs crates/route/src/detail.rs crates/route/src/power.rs
+
+/root/repo/target/debug/deps/libprima_route-81d620f9f0013737.rmeta: crates/route/src/lib.rs crates/route/src/detail.rs crates/route/src/power.rs
+
+crates/route/src/lib.rs:
+crates/route/src/detail.rs:
+crates/route/src/power.rs:

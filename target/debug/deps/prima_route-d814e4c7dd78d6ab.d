@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/prima_route-d814e4c7dd78d6ab.d: crates/route/src/lib.rs crates/route/src/detail.rs crates/route/src/power.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprima_route-d814e4c7dd78d6ab.rmeta: crates/route/src/lib.rs crates/route/src/detail.rs crates/route/src/power.rs Cargo.toml
+
+crates/route/src/lib.rs:
+crates/route/src/detail.rs:
+crates/route/src/power.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/prima_spice-75eb243ddb073bc7.d: crates/spice/src/lib.rs crates/spice/src/analysis.rs crates/spice/src/analysis/ac.rs crates/spice/src/analysis/dc.rs crates/spice/src/analysis/sweep.rs crates/spice/src/analysis/tran.rs crates/spice/src/devices.rs crates/spice/src/measure.rs crates/spice/src/netlist.rs crates/spice/src/netlist/parser.rs crates/spice/src/num.rs crates/spice/src/report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprima_spice-75eb243ddb073bc7.rmeta: crates/spice/src/lib.rs crates/spice/src/analysis.rs crates/spice/src/analysis/ac.rs crates/spice/src/analysis/dc.rs crates/spice/src/analysis/sweep.rs crates/spice/src/analysis/tran.rs crates/spice/src/devices.rs crates/spice/src/measure.rs crates/spice/src/netlist.rs crates/spice/src/netlist/parser.rs crates/spice/src/num.rs crates/spice/src/report.rs Cargo.toml
+
+crates/spice/src/lib.rs:
+crates/spice/src/analysis.rs:
+crates/spice/src/analysis/ac.rs:
+crates/spice/src/analysis/dc.rs:
+crates/spice/src/analysis/sweep.rs:
+crates/spice/src/analysis/tran.rs:
+crates/spice/src/devices.rs:
+crates/spice/src/measure.rs:
+crates/spice/src/netlist.rs:
+crates/spice/src/netlist/parser.rs:
+crates/spice/src/num.rs:
+crates/spice/src/report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/prima_spice-82a099b1d982412e.d: crates/spice/src/lib.rs crates/spice/src/analysis.rs crates/spice/src/analysis/ac.rs crates/spice/src/analysis/dc.rs crates/spice/src/analysis/sweep.rs crates/spice/src/analysis/tran.rs crates/spice/src/devices.rs crates/spice/src/measure.rs crates/spice/src/netlist.rs crates/spice/src/netlist/parser.rs crates/spice/src/num.rs crates/spice/src/report.rs
+
+/root/repo/target/debug/deps/libprima_spice-82a099b1d982412e.rlib: crates/spice/src/lib.rs crates/spice/src/analysis.rs crates/spice/src/analysis/ac.rs crates/spice/src/analysis/dc.rs crates/spice/src/analysis/sweep.rs crates/spice/src/analysis/tran.rs crates/spice/src/devices.rs crates/spice/src/measure.rs crates/spice/src/netlist.rs crates/spice/src/netlist/parser.rs crates/spice/src/num.rs crates/spice/src/report.rs
+
+/root/repo/target/debug/deps/libprima_spice-82a099b1d982412e.rmeta: crates/spice/src/lib.rs crates/spice/src/analysis.rs crates/spice/src/analysis/ac.rs crates/spice/src/analysis/dc.rs crates/spice/src/analysis/sweep.rs crates/spice/src/analysis/tran.rs crates/spice/src/devices.rs crates/spice/src/measure.rs crates/spice/src/netlist.rs crates/spice/src/netlist/parser.rs crates/spice/src/num.rs crates/spice/src/report.rs
+
+crates/spice/src/lib.rs:
+crates/spice/src/analysis.rs:
+crates/spice/src/analysis/ac.rs:
+crates/spice/src/analysis/dc.rs:
+crates/spice/src/analysis/sweep.rs:
+crates/spice/src/analysis/tran.rs:
+crates/spice/src/devices.rs:
+crates/spice/src/measure.rs:
+crates/spice/src/netlist.rs:
+crates/spice/src/netlist/parser.rs:
+crates/spice/src/num.rs:
+crates/spice/src/report.rs:

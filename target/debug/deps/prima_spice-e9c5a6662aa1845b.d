@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/prima_spice-e9c5a6662aa1845b.d: crates/spice/src/lib.rs crates/spice/src/analysis.rs crates/spice/src/analysis/ac.rs crates/spice/src/analysis/dc.rs crates/spice/src/analysis/sweep.rs crates/spice/src/analysis/tran.rs crates/spice/src/devices.rs crates/spice/src/measure.rs crates/spice/src/netlist.rs crates/spice/src/netlist/parser.rs crates/spice/src/num.rs crates/spice/src/report.rs
+
+/root/repo/target/debug/deps/libprima_spice-e9c5a6662aa1845b.rlib: crates/spice/src/lib.rs crates/spice/src/analysis.rs crates/spice/src/analysis/ac.rs crates/spice/src/analysis/dc.rs crates/spice/src/analysis/sweep.rs crates/spice/src/analysis/tran.rs crates/spice/src/devices.rs crates/spice/src/measure.rs crates/spice/src/netlist.rs crates/spice/src/netlist/parser.rs crates/spice/src/num.rs crates/spice/src/report.rs
+
+/root/repo/target/debug/deps/libprima_spice-e9c5a6662aa1845b.rmeta: crates/spice/src/lib.rs crates/spice/src/analysis.rs crates/spice/src/analysis/ac.rs crates/spice/src/analysis/dc.rs crates/spice/src/analysis/sweep.rs crates/spice/src/analysis/tran.rs crates/spice/src/devices.rs crates/spice/src/measure.rs crates/spice/src/netlist.rs crates/spice/src/netlist/parser.rs crates/spice/src/num.rs crates/spice/src/report.rs
+
+crates/spice/src/lib.rs:
+crates/spice/src/analysis.rs:
+crates/spice/src/analysis/ac.rs:
+crates/spice/src/analysis/dc.rs:
+crates/spice/src/analysis/sweep.rs:
+crates/spice/src/analysis/tran.rs:
+crates/spice/src/devices.rs:
+crates/spice/src/measure.rs:
+crates/spice/src/netlist.rs:
+crates/spice/src/netlist/parser.rs:
+crates/spice/src/num.rs:
+crates/spice/src/report.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/prima_spice-f96d04c1bd36e7bc.d: crates/spice/src/lib.rs crates/spice/src/analysis.rs crates/spice/src/analysis/ac.rs crates/spice/src/analysis/dc.rs crates/spice/src/analysis/sweep.rs crates/spice/src/analysis/tran.rs crates/spice/src/devices.rs crates/spice/src/measure.rs crates/spice/src/netlist.rs crates/spice/src/netlist/parser.rs crates/spice/src/num.rs crates/spice/src/report.rs
+
+/root/repo/target/debug/deps/prima_spice-f96d04c1bd36e7bc: crates/spice/src/lib.rs crates/spice/src/analysis.rs crates/spice/src/analysis/ac.rs crates/spice/src/analysis/dc.rs crates/spice/src/analysis/sweep.rs crates/spice/src/analysis/tran.rs crates/spice/src/devices.rs crates/spice/src/measure.rs crates/spice/src/netlist.rs crates/spice/src/netlist/parser.rs crates/spice/src/num.rs crates/spice/src/report.rs
+
+crates/spice/src/lib.rs:
+crates/spice/src/analysis.rs:
+crates/spice/src/analysis/ac.rs:
+crates/spice/src/analysis/dc.rs:
+crates/spice/src/analysis/sweep.rs:
+crates/spice/src/analysis/tran.rs:
+crates/spice/src/devices.rs:
+crates/spice/src/measure.rs:
+crates/spice/src/netlist.rs:
+crates/spice/src/netlist/parser.rs:
+crates/spice/src/num.rs:
+crates/spice/src/report.rs:

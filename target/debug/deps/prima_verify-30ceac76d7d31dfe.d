@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/prima_verify-30ceac76d7d31dfe.d: crates/verify/src/lib.rs crates/verify/src/connectivity.rs crates/verify/src/drc.rs crates/verify/src/lints.rs
+
+/root/repo/target/debug/deps/prima_verify-30ceac76d7d31dfe: crates/verify/src/lib.rs crates/verify/src/connectivity.rs crates/verify/src/drc.rs crates/verify/src/lints.rs
+
+crates/verify/src/lib.rs:
+crates/verify/src/connectivity.rs:
+crates/verify/src/drc.rs:
+crates/verify/src/lints.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/prima_verify-3110e785390b5e50.d: crates/verify/src/lib.rs crates/verify/src/connectivity.rs crates/verify/src/drc.rs crates/verify/src/lints.rs
+
+/root/repo/target/debug/deps/libprima_verify-3110e785390b5e50.rlib: crates/verify/src/lib.rs crates/verify/src/connectivity.rs crates/verify/src/drc.rs crates/verify/src/lints.rs
+
+/root/repo/target/debug/deps/libprima_verify-3110e785390b5e50.rmeta: crates/verify/src/lib.rs crates/verify/src/connectivity.rs crates/verify/src/drc.rs crates/verify/src/lints.rs
+
+crates/verify/src/lib.rs:
+crates/verify/src/connectivity.rs:
+crates/verify/src/drc.rs:
+crates/verify/src/lints.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/prima_verify-82c1fd70793c5c6a.d: crates/verify/src/lib.rs crates/verify/src/connectivity.rs crates/verify/src/drc.rs crates/verify/src/lints.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprima_verify-82c1fd70793c5c6a.rmeta: crates/verify/src/lib.rs crates/verify/src/connectivity.rs crates/verify/src/drc.rs crates/verify/src/lints.rs Cargo.toml
+
+crates/verify/src/lib.rs:
+crates/verify/src/connectivity.rs:
+crates/verify/src/drc.rs:
+crates/verify/src/lints.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/prima_verify-edf847e632b7476b.d: crates/verify/src/lib.rs crates/verify/src/connectivity.rs crates/verify/src/drc.rs crates/verify/src/lints.rs
+
+/root/repo/target/debug/deps/libprima_verify-edf847e632b7476b.rlib: crates/verify/src/lib.rs crates/verify/src/connectivity.rs crates/verify/src/drc.rs crates/verify/src/lints.rs
+
+/root/repo/target/debug/deps/libprima_verify-edf847e632b7476b.rmeta: crates/verify/src/lib.rs crates/verify/src/connectivity.rs crates/verify/src/drc.rs crates/verify/src/lints.rs
+
+crates/verify/src/lib.rs:
+crates/verify/src/connectivity.rs:
+crates/verify/src/drc.rs:
+crates/verify/src/lints.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/proptest-2d99eb5017306fbf.d: vendor/proptest/src/lib.rs vendor/proptest/src/collection.rs vendor/proptest/src/prelude.rs vendor/proptest/src/strategy.rs vendor/proptest/src/test_runner.rs
+
+/root/repo/target/debug/deps/libproptest-2d99eb5017306fbf.rlib: vendor/proptest/src/lib.rs vendor/proptest/src/collection.rs vendor/proptest/src/prelude.rs vendor/proptest/src/strategy.rs vendor/proptest/src/test_runner.rs
+
+/root/repo/target/debug/deps/libproptest-2d99eb5017306fbf.rmeta: vendor/proptest/src/lib.rs vendor/proptest/src/collection.rs vendor/proptest/src/prelude.rs vendor/proptest/src/strategy.rs vendor/proptest/src/test_runner.rs
+
+vendor/proptest/src/lib.rs:
+vendor/proptest/src/collection.rs:
+vendor/proptest/src/prelude.rs:
+vendor/proptest/src/strategy.rs:
+vendor/proptest/src/test_runner.rs:

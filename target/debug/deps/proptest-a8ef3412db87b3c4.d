@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest-a8ef3412db87b3c4.d: vendor/proptest/src/lib.rs vendor/proptest/src/collection.rs vendor/proptest/src/prelude.rs vendor/proptest/src/strategy.rs vendor/proptest/src/test_runner.rs
+
+/root/repo/target/debug/deps/libproptest-a8ef3412db87b3c4.rmeta: vendor/proptest/src/lib.rs vendor/proptest/src/collection.rs vendor/proptest/src/prelude.rs vendor/proptest/src/strategy.rs vendor/proptest/src/test_runner.rs
+
+vendor/proptest/src/lib.rs:
+vendor/proptest/src/collection.rs:
+vendor/proptest/src/prelude.rs:
+vendor/proptest/src/strategy.rs:
+vendor/proptest/src/test_runner.rs:

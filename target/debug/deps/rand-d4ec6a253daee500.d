@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-d4ec6a253daee500.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-d4ec6a253daee500.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

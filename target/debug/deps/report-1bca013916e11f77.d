@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/report-1bca013916e11f77.d: crates/bench/src/bin/report.rs
+
+/root/repo/target/debug/deps/report-1bca013916e11f77: crates/bench/src/bin/report.rs
+
+crates/bench/src/bin/report.rs:

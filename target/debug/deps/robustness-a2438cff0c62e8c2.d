@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/robustness-a2438cff0c62e8c2.d: crates/spice/tests/robustness.rs Cargo.toml
+
+/root/repo/target/debug/deps/librobustness-a2438cff0c62e8c2.rmeta: crates/spice/tests/robustness.rs Cargo.toml
+
+crates/spice/tests/robustness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

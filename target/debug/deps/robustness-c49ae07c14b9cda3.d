@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/robustness-c49ae07c14b9cda3.d: crates/spice/tests/robustness.rs
+
+/root/repo/target/debug/deps/robustness-c49ae07c14b9cda3: crates/spice/tests/robustness.rs
+
+crates/spice/tests/robustness.rs:

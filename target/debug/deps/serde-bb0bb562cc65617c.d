@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-bb0bb562cc65617c.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-bb0bb562cc65617c.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

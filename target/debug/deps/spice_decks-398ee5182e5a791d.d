@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/spice_decks-398ee5182e5a791d.d: crates/integration/../../tests/spice_decks.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspice_decks-398ee5182e5a791d.rmeta: crates/integration/../../tests/spice_decks.rs Cargo.toml
+
+crates/integration/../../tests/spice_decks.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

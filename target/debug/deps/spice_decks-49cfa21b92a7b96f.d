@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/spice_decks-49cfa21b92a7b96f.d: crates/integration/../../tests/spice_decks.rs
+
+/root/repo/target/debug/deps/spice_decks-49cfa21b92a7b96f: crates/integration/../../tests/spice_decks.rs
+
+crates/integration/../../tests/spice_decks.rs:

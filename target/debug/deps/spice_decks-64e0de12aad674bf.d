@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/spice_decks-64e0de12aad674bf.d: crates/integration/../../tests/spice_decks.rs
+
+/root/repo/target/debug/deps/spice_decks-64e0de12aad674bf: crates/integration/../../tests/spice_decks.rs
+
+crates/integration/../../tests/spice_decks.rs:

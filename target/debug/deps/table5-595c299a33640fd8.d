@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table5-595c299a33640fd8.d: crates/bench/benches/table5.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable5-595c299a33640fd8.rmeta: crates/bench/benches/table5.rs Cargo.toml
+
+crates/bench/benches/table5.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

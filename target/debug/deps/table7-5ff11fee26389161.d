@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table7-5ff11fee26389161.d: crates/bench/benches/table7.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable7-5ff11fee26389161.rmeta: crates/bench/benches/table7.rs Cargo.toml
+
+crates/bench/benches/table7.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table8-a844c6ee525168f1.d: crates/bench/benches/table8.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable8-a844c6ee525168f1.rmeta: crates/bench/benches/table8.rs Cargo.toml
+
+crates/bench/benches/table8.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

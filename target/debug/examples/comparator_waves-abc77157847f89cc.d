@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/comparator_waves-abc77157847f89cc.d: crates/flow/../../examples/comparator_waves.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcomparator_waves-abc77157847f89cc.rmeta: crates/flow/../../examples/comparator_waves.rs Cargo.toml
+
+crates/flow/../../examples/comparator_waves.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/comparator_waves-bcfb55b381fe8e23.d: crates/flow/../../examples/comparator_waves.rs
+
+/root/repo/target/debug/examples/comparator_waves-bcfb55b381fe8e23: crates/flow/../../examples/comparator_waves.rs
+
+crates/flow/../../examples/comparator_waves.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ota_flow-54c97d109e22849f.d: crates/flow/../../examples/ota_flow.rs
+
+/root/repo/target/debug/examples/ota_flow-54c97d109e22849f: crates/flow/../../examples/ota_flow.rs
+
+crates/flow/../../examples/ota_flow.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/ota_flow-aa04f069bb54a4d4.d: crates/flow/../../examples/ota_flow.rs Cargo.toml
+
+/root/repo/target/debug/examples/libota_flow-aa04f069bb54a4d4.rmeta: crates/flow/../../examples/ota_flow.rs Cargo.toml
+
+crates/flow/../../examples/ota_flow.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

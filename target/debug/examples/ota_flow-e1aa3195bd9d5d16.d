@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ota_flow-e1aa3195bd9d5d16.d: crates/flow/../../examples/ota_flow.rs
+
+/root/repo/target/debug/examples/ota_flow-e1aa3195bd9d5d16: crates/flow/../../examples/ota_flow.rs
+
+crates/flow/../../examples/ota_flow.rs:

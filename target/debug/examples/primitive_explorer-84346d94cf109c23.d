@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/primitive_explorer-84346d94cf109c23.d: crates/flow/../../examples/primitive_explorer.rs Cargo.toml
+
+/root/repo/target/debug/examples/libprimitive_explorer-84346d94cf109c23.rmeta: crates/flow/../../examples/primitive_explorer.rs Cargo.toml
+
+crates/flow/../../examples/primitive_explorer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

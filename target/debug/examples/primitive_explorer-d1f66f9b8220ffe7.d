@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/primitive_explorer-d1f66f9b8220ffe7.d: crates/flow/../../examples/primitive_explorer.rs
+
+/root/repo/target/debug/examples/primitive_explorer-d1f66f9b8220ffe7: crates/flow/../../examples/primitive_explorer.rs
+
+crates/flow/../../examples/primitive_explorer.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-48c7546cf278376b.d: crates/flow/../../examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-48c7546cf278376b.rmeta: crates/flow/../../examples/quickstart.rs Cargo.toml
+
+crates/flow/../../examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

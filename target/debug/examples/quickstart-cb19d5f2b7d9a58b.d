@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-cb19d5f2b7d9a58b.d: crates/flow/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-cb19d5f2b7d9a58b: crates/flow/../../examples/quickstart.rs
+
+crates/flow/../../examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/vco_sweep-67afcc09e02f7c1f.d: crates/flow/../../examples/vco_sweep.rs Cargo.toml
+
+/root/repo/target/debug/examples/libvco_sweep-67afcc09e02f7c1f.rmeta: crates/flow/../../examples/vco_sweep.rs Cargo.toml
+
+crates/flow/../../examples/vco_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/vco_sweep-fd70d5234da40c00.d: crates/flow/../../examples/vco_sweep.rs
+
+/root/repo/target/debug/examples/vco_sweep-fd70d5234da40c00: crates/flow/../../examples/vco_sweep.rs
+
+crates/flow/../../examples/vco_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/device_properties-72cb4acb482ac2b7.d: crates/spice/tests/device_properties.rs
+
+/root/repo/target/release/deps/device_properties-72cb4acb482ac2b7: crates/spice/tests/device_properties.rs
+
+crates/spice/tests/device_properties.rs:

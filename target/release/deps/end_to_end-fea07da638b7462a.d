@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-fea07da638b7462a.d: crates/integration/../../tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-fea07da638b7462a: crates/integration/../../tests/end_to_end.rs
+
+crates/integration/../../tests/end_to_end.rs:

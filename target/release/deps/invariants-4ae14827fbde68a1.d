@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/invariants-4ae14827fbde68a1.d: crates/integration/../../tests/invariants.rs
+
+/root/repo/target/release/deps/invariants-4ae14827fbde68a1: crates/integration/../../tests/invariants.rs
+
+crates/integration/../../tests/invariants.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/prima_bench-005027a096e6dd38.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libprima_bench-005027a096e6dd38.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libprima_bench-005027a096e6dd38.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

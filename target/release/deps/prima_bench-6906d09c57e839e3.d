@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/prima_bench-6906d09c57e839e3.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libprima_bench-6906d09c57e839e3.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libprima_bench-6906d09c57e839e3.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prima_bench-fec1ddcc62c53de5.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/prima_bench-fec1ddcc62c53de5: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

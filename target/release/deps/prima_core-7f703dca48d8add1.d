@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/prima_core-7f703dca48d8add1.d: crates/core/src/lib.rs crates/core/src/accounting.rs crates/core/src/cost.rs crates/core/src/ports.rs crates/core/src/selection.rs crates/core/src/tuning.rs
+
+/root/repo/target/release/deps/libprima_core-7f703dca48d8add1.rlib: crates/core/src/lib.rs crates/core/src/accounting.rs crates/core/src/cost.rs crates/core/src/ports.rs crates/core/src/selection.rs crates/core/src/tuning.rs
+
+/root/repo/target/release/deps/libprima_core-7f703dca48d8add1.rmeta: crates/core/src/lib.rs crates/core/src/accounting.rs crates/core/src/cost.rs crates/core/src/ports.rs crates/core/src/selection.rs crates/core/src/tuning.rs
+
+crates/core/src/lib.rs:
+crates/core/src/accounting.rs:
+crates/core/src/cost.rs:
+crates/core/src/ports.rs:
+crates/core/src/selection.rs:
+crates/core/src/tuning.rs:

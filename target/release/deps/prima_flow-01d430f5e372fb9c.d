@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/prima_flow-01d430f5e372fb9c.d: crates/flow/src/lib.rs crates/flow/src/builder.rs crates/flow/src/circuits.rs crates/flow/src/circuits/cs_amp.rs crates/flow/src/circuits/ota.rs crates/flow/src/circuits/strongarm.rs crates/flow/src/circuits/vco.rs crates/flow/src/flows.rs
+
+/root/repo/target/release/deps/libprima_flow-01d430f5e372fb9c.rlib: crates/flow/src/lib.rs crates/flow/src/builder.rs crates/flow/src/circuits.rs crates/flow/src/circuits/cs_amp.rs crates/flow/src/circuits/ota.rs crates/flow/src/circuits/strongarm.rs crates/flow/src/circuits/vco.rs crates/flow/src/flows.rs
+
+/root/repo/target/release/deps/libprima_flow-01d430f5e372fb9c.rmeta: crates/flow/src/lib.rs crates/flow/src/builder.rs crates/flow/src/circuits.rs crates/flow/src/circuits/cs_amp.rs crates/flow/src/circuits/ota.rs crates/flow/src/circuits/strongarm.rs crates/flow/src/circuits/vco.rs crates/flow/src/flows.rs
+
+crates/flow/src/lib.rs:
+crates/flow/src/builder.rs:
+crates/flow/src/circuits.rs:
+crates/flow/src/circuits/cs_amp.rs:
+crates/flow/src/circuits/ota.rs:
+crates/flow/src/circuits/strongarm.rs:
+crates/flow/src/circuits/vco.rs:
+crates/flow/src/flows.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/prima_flow-fbccbf4b3bacef9a.d: crates/flow/src/lib.rs crates/flow/src/builder.rs crates/flow/src/circuits.rs crates/flow/src/circuits/cs_amp.rs crates/flow/src/circuits/ota.rs crates/flow/src/circuits/strongarm.rs crates/flow/src/circuits/vco.rs crates/flow/src/flows.rs
+
+/root/repo/target/release/deps/prima_flow-fbccbf4b3bacef9a: crates/flow/src/lib.rs crates/flow/src/builder.rs crates/flow/src/circuits.rs crates/flow/src/circuits/cs_amp.rs crates/flow/src/circuits/ota.rs crates/flow/src/circuits/strongarm.rs crates/flow/src/circuits/vco.rs crates/flow/src/flows.rs
+
+crates/flow/src/lib.rs:
+crates/flow/src/builder.rs:
+crates/flow/src/circuits.rs:
+crates/flow/src/circuits/cs_amp.rs:
+crates/flow/src/circuits/ota.rs:
+crates/flow/src/circuits/strongarm.rs:
+crates/flow/src/circuits/vco.rs:
+crates/flow/src/flows.rs:

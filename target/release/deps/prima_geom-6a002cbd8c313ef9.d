@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prima_geom-6a002cbd8c313ef9.d: crates/geom/src/lib.rs
+
+/root/repo/target/release/deps/prima_geom-6a002cbd8c313ef9: crates/geom/src/lib.rs
+
+crates/geom/src/lib.rs:

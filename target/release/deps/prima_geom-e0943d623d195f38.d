@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/prima_geom-e0943d623d195f38.d: crates/geom/src/lib.rs
+
+/root/repo/target/release/deps/libprima_geom-e0943d623d195f38.rlib: crates/geom/src/lib.rs
+
+/root/repo/target/release/deps/libprima_geom-e0943d623d195f38.rmeta: crates/geom/src/lib.rs
+
+crates/geom/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/prima_integration-4200923a9f2e1cc1.d: crates/integration/src/lib.rs
+
+/root/repo/target/release/deps/libprima_integration-4200923a9f2e1cc1.rlib: crates/integration/src/lib.rs
+
+/root/repo/target/release/deps/libprima_integration-4200923a9f2e1cc1.rmeta: crates/integration/src/lib.rs
+
+crates/integration/src/lib.rs:

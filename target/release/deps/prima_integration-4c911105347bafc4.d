@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prima_integration-4c911105347bafc4.d: crates/integration/src/lib.rs
+
+/root/repo/target/release/deps/prima_integration-4c911105347bafc4: crates/integration/src/lib.rs
+
+crates/integration/src/lib.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/prima_layout-3aa6c95f7b716c3a.d: crates/layout/src/lib.rs crates/layout/src/cell.rs crates/layout/src/extract.rs crates/layout/src/render.rs
+
+/root/repo/target/release/deps/prima_layout-3aa6c95f7b716c3a: crates/layout/src/lib.rs crates/layout/src/cell.rs crates/layout/src/extract.rs crates/layout/src/render.rs
+
+crates/layout/src/lib.rs:
+crates/layout/src/cell.rs:
+crates/layout/src/extract.rs:
+crates/layout/src/render.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/prima_layout-cecf51a98bd6c56b.d: crates/layout/src/lib.rs crates/layout/src/cell.rs crates/layout/src/extract.rs crates/layout/src/render.rs
+
+/root/repo/target/release/deps/libprima_layout-cecf51a98bd6c56b.rlib: crates/layout/src/lib.rs crates/layout/src/cell.rs crates/layout/src/extract.rs crates/layout/src/render.rs
+
+/root/repo/target/release/deps/libprima_layout-cecf51a98bd6c56b.rmeta: crates/layout/src/lib.rs crates/layout/src/cell.rs crates/layout/src/extract.rs crates/layout/src/render.rs
+
+crates/layout/src/lib.rs:
+crates/layout/src/cell.rs:
+crates/layout/src/extract.rs:
+crates/layout/src/render.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prima_pdk-d98cb4acf5f3cf9b.d: crates/pdk/src/lib.rs
+
+/root/repo/target/release/deps/prima_pdk-d98cb4acf5f3cf9b: crates/pdk/src/lib.rs
+
+crates/pdk/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/prima_pdk-db739faa9706009d.d: crates/pdk/src/lib.rs
+
+/root/repo/target/release/deps/libprima_pdk-db739faa9706009d.rlib: crates/pdk/src/lib.rs
+
+/root/repo/target/release/deps/libprima_pdk-db739faa9706009d.rmeta: crates/pdk/src/lib.rs
+
+crates/pdk/src/lib.rs:

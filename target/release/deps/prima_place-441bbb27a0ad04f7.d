@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prima_place-441bbb27a0ad04f7.d: crates/place/src/lib.rs
+
+/root/repo/target/release/deps/prima_place-441bbb27a0ad04f7: crates/place/src/lib.rs
+
+crates/place/src/lib.rs:

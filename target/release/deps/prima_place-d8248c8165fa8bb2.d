@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/prima_place-d8248c8165fa8bb2.d: crates/place/src/lib.rs
+
+/root/repo/target/release/deps/libprima_place-d8248c8165fa8bb2.rlib: crates/place/src/lib.rs
+
+/root/repo/target/release/deps/libprima_place-d8248c8165fa8bb2.rmeta: crates/place/src/lib.rs
+
+crates/place/src/lib.rs:

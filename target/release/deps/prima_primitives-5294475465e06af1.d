@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/prima_primitives-5294475465e06af1.d: crates/primitives/src/lib.rs crates/primitives/src/bias.rs crates/primitives/src/circuit.rs crates/primitives/src/library.rs crates/primitives/src/metrics.rs crates/primitives/src/montecarlo.rs crates/primitives/src/testbench.rs
+
+/root/repo/target/release/deps/prima_primitives-5294475465e06af1: crates/primitives/src/lib.rs crates/primitives/src/bias.rs crates/primitives/src/circuit.rs crates/primitives/src/library.rs crates/primitives/src/metrics.rs crates/primitives/src/montecarlo.rs crates/primitives/src/testbench.rs
+
+crates/primitives/src/lib.rs:
+crates/primitives/src/bias.rs:
+crates/primitives/src/circuit.rs:
+crates/primitives/src/library.rs:
+crates/primitives/src/metrics.rs:
+crates/primitives/src/montecarlo.rs:
+crates/primitives/src/testbench.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/prima_primitives-acfd79d3253531b0.d: crates/primitives/src/lib.rs crates/primitives/src/bias.rs crates/primitives/src/circuit.rs crates/primitives/src/library.rs crates/primitives/src/metrics.rs crates/primitives/src/montecarlo.rs crates/primitives/src/testbench.rs
+
+/root/repo/target/release/deps/libprima_primitives-acfd79d3253531b0.rlib: crates/primitives/src/lib.rs crates/primitives/src/bias.rs crates/primitives/src/circuit.rs crates/primitives/src/library.rs crates/primitives/src/metrics.rs crates/primitives/src/montecarlo.rs crates/primitives/src/testbench.rs
+
+/root/repo/target/release/deps/libprima_primitives-acfd79d3253531b0.rmeta: crates/primitives/src/lib.rs crates/primitives/src/bias.rs crates/primitives/src/circuit.rs crates/primitives/src/library.rs crates/primitives/src/metrics.rs crates/primitives/src/montecarlo.rs crates/primitives/src/testbench.rs
+
+crates/primitives/src/lib.rs:
+crates/primitives/src/bias.rs:
+crates/primitives/src/circuit.rs:
+crates/primitives/src/library.rs:
+crates/primitives/src/metrics.rs:
+crates/primitives/src/montecarlo.rs:
+crates/primitives/src/testbench.rs:

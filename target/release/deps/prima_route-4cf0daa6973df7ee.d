@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/prima_route-4cf0daa6973df7ee.d: crates/route/src/lib.rs crates/route/src/detail.rs crates/route/src/power.rs
+
+/root/repo/target/release/deps/libprima_route-4cf0daa6973df7ee.rlib: crates/route/src/lib.rs crates/route/src/detail.rs crates/route/src/power.rs
+
+/root/repo/target/release/deps/libprima_route-4cf0daa6973df7ee.rmeta: crates/route/src/lib.rs crates/route/src/detail.rs crates/route/src/power.rs
+
+crates/route/src/lib.rs:
+crates/route/src/detail.rs:
+crates/route/src/power.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/prima_route-5f711e803f28f1db.d: crates/route/src/lib.rs crates/route/src/detail.rs crates/route/src/power.rs
+
+/root/repo/target/release/deps/prima_route-5f711e803f28f1db: crates/route/src/lib.rs crates/route/src/detail.rs crates/route/src/power.rs
+
+crates/route/src/lib.rs:
+crates/route/src/detail.rs:
+crates/route/src/power.rs:

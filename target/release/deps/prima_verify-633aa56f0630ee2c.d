@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/prima_verify-633aa56f0630ee2c.d: crates/verify/src/lib.rs crates/verify/src/connectivity.rs crates/verify/src/drc.rs crates/verify/src/lints.rs
+
+/root/repo/target/release/deps/libprima_verify-633aa56f0630ee2c.rlib: crates/verify/src/lib.rs crates/verify/src/connectivity.rs crates/verify/src/drc.rs crates/verify/src/lints.rs
+
+/root/repo/target/release/deps/libprima_verify-633aa56f0630ee2c.rmeta: crates/verify/src/lib.rs crates/verify/src/connectivity.rs crates/verify/src/drc.rs crates/verify/src/lints.rs
+
+crates/verify/src/lib.rs:
+crates/verify/src/connectivity.rs:
+crates/verify/src/drc.rs:
+crates/verify/src/lints.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/report-047b525b4911037c.d: crates/bench/src/bin/report.rs
+
+/root/repo/target/release/deps/report-047b525b4911037c: crates/bench/src/bin/report.rs
+
+crates/bench/src/bin/report.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/report-532a6eedd3a5592b.d: crates/bench/src/bin/report.rs
+
+/root/repo/target/release/deps/report-532a6eedd3a5592b: crates/bench/src/bin/report.rs
+
+crates/bench/src/bin/report.rs:

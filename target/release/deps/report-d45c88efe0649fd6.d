@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/report-d45c88efe0649fd6.d: crates/bench/src/bin/report.rs
+
+/root/repo/target/release/deps/report-d45c88efe0649fd6: crates/bench/src/bin/report.rs
+
+crates/bench/src/bin/report.rs:

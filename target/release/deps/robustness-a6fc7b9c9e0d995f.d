@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/robustness-a6fc7b9c9e0d995f.d: crates/spice/tests/robustness.rs
+
+/root/repo/target/release/deps/robustness-a6fc7b9c9e0d995f: crates/spice/tests/robustness.rs
+
+crates/spice/tests/robustness.rs:

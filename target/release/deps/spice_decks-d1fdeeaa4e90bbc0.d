@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/spice_decks-d1fdeeaa4e90bbc0.d: crates/integration/../../tests/spice_decks.rs
+
+/root/repo/target/release/deps/spice_decks-d1fdeeaa4e90bbc0: crates/integration/../../tests/spice_decks.rs
+
+crates/integration/../../tests/spice_decks.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/comparator_waves-45174c5970e8e8f4.d: crates/flow/../../examples/comparator_waves.rs
+
+/root/repo/target/release/examples/comparator_waves-45174c5970e8e8f4: crates/flow/../../examples/comparator_waves.rs
+
+crates/flow/../../examples/comparator_waves.rs:

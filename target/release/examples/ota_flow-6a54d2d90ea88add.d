@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/ota_flow-6a54d2d90ea88add.d: crates/flow/../../examples/ota_flow.rs
+
+/root/repo/target/release/examples/ota_flow-6a54d2d90ea88add: crates/flow/../../examples/ota_flow.rs
+
+crates/flow/../../examples/ota_flow.rs:

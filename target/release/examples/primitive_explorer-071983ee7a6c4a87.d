@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/primitive_explorer-071983ee7a6c4a87.d: crates/flow/../../examples/primitive_explorer.rs
+
+/root/repo/target/release/examples/primitive_explorer-071983ee7a6c4a87: crates/flow/../../examples/primitive_explorer.rs
+
+crates/flow/../../examples/primitive_explorer.rs:

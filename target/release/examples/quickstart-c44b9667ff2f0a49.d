@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-c44b9667ff2f0a49.d: crates/flow/../../examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-c44b9667ff2f0a49: crates/flow/../../examples/quickstart.rs
+
+crates/flow/../../examples/quickstart.rs:

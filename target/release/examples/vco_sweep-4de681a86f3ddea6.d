@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/vco_sweep-4de681a86f3ddea6.d: crates/flow/../../examples/vco_sweep.rs
+
+/root/repo/target/release/examples/vco_sweep-4de681a86f3ddea6: crates/flow/../../examples/vco_sweep.rs
+
+crates/flow/../../examples/vco_sweep.rs:

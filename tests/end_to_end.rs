@@ -1,6 +1,8 @@
 //! End-to-end integration tests spanning every crate: the paper's headline
 //! claims checked on the smallest circuits that exhibit them.
 
+#![allow(clippy::unwrap_used)]
+
 use prima_flow::circuits::{CsAmp, FiveTOta};
 use prima_flow::{conventional_flow, optimized_flow, FlowKind, Realization};
 use prima_pdk::Technology;
@@ -65,7 +67,11 @@ fn all_flows_produce_functional_cs_amp() {
             m.gain_db,
             sch.gain_db
         );
-        assert!(m.ugf_ghz > 0.2 * sch.ugf_ghz, "{:?}: UGF collapsed", outcome.kind);
+        assert!(
+            m.ugf_ghz > 0.2 * sch.ugf_ghz,
+            "{:?}: UGF collapsed",
+            outcome.kind
+        );
     }
 }
 
@@ -84,7 +90,10 @@ fn flows_are_deterministic() {
     }
     for (net, wa) in &a.realization.net_wires {
         let wb = &b.realization.net_wires[net];
-        assert!((wa.r_ohm - wb.r_ohm).abs() < 1e-12, "{net}: route widths differ");
+        assert!(
+            (wa.r_ohm - wb.r_ohm).abs() < 1e-12,
+            "{net}: route widths differ"
+        );
     }
 }
 
@@ -108,9 +117,7 @@ fn optimized_primitives_have_lower_cost_than_defaults() {
             .get(&inst.name)
             .cloned()
             .unwrap_or_else(|| Bias::nominal(&tech, &def.class));
-        let sch = o
-            .schematic_reference(def, &bias, inst.total_fins)
-            .unwrap();
+        let sch = o.schematic_reference(def, &bias, inst.total_fins).unwrap();
         let conv_layout = conv.realization.layouts[&inst.name].clone();
         let opt_layout = opt.realization.layouts[&inst.name].clone();
         let conv_cost = o
@@ -140,7 +147,11 @@ fn strongarm_flow_respects_symmetry_and_measures() {
     let conv = conventional_flow(&tech, &lib, &spec, 11).unwrap();
     // The comparator still resolves with conventional layouts.
     let m = StrongArm::measure(&tech, &lib, &conv.realization).unwrap();
-    assert!(m.delay_ps > 0.0 && m.delay_ps < 500.0, "delay {}", m.delay_ps);
+    assert!(
+        m.delay_ps > 0.0 && m.delay_ps < 500.0,
+        "delay {}",
+        m.delay_ps
+    );
 }
 
 /// Detailed routing consumes the reconciled widths: a tuned net occupies

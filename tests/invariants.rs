@@ -1,5 +1,7 @@
 //! Property-based invariants across the workspace (proptest).
 
+#![allow(clippy::unwrap_used)]
+
 use proptest::prelude::*;
 
 use prima_core::{cost_of, deviation_percent, reconcile, PortConstraint};

@@ -1,12 +1,14 @@
 //! Integration tests for the SPICE text front end: decks that exercise the
 //! parser, the PDK model cards, and all three analyses together.
 
+#![allow(clippy::unwrap_used)]
+
+use prima_pdk::Technology;
 use prima_spice::analysis::ac::{AcSolver, FrequencySweep};
 use prima_spice::analysis::dc::DcSolver;
 use prima_spice::analysis::tran::TranSolver;
 use prima_spice::measure;
 use prima_spice::netlist::{parse, ModelLibrary};
-use prima_pdk::Technology;
 
 /// Registers the PDK's device flavors under SPICE-style names.
 fn pdk_models() -> ModelLibrary {
@@ -142,8 +144,15 @@ C2 out 0 100f
 
 #[test]
 fn malformed_decks_are_rejected_cleanly() {
-    let bad = ["R1 a 0 notanumber\n", "M1 d g s b missingmodel w=1u l=14n\n", "X1 a b nosub\n"];
+    let bad = [
+        "R1 a 0 notanumber\n",
+        "M1 d g s b missingmodel w=1u l=14n\n",
+        "X1 a b nosub\n",
+    ];
     for deck in bad {
-        assert!(parse(deck, &pdk_models()).is_err(), "deck should fail: {deck}");
+        assert!(
+            parse(deck, &pdk_models()).is_err(),
+            "deck should fail: {deck}"
+        );
     }
 }

@@ -1,0 +1,87 @@
+//! Offline stand-in for `crossbeam` covering `crossbeam::thread::scope`,
+//! delegating to `std::thread::scope` (stable since 1.63) so spawned work
+//! still runs on real OS threads in parallel.
+
+pub mod thread {
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Result of a scope or a joined spawn: `Err` carries the panic payload,
+    /// matching crossbeam's `thread::Result`.
+    pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// Handle passed to scope closures; `spawn` puts work on a real thread.
+    pub struct Scope<'scope, 'env> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Placeholder for the nested-scope argument crossbeam passes to spawned
+    /// closures. The workspace never uses it (`move |_| ...` everywhere), so
+    /// it carries no spawning capability here.
+    pub struct NestedScope {
+        _private: (),
+    }
+
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(NestedScope) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(NestedScope { _private: () })),
+            }
+        }
+    }
+
+    /// Run `f` with a scope handle; all threads it spawns are joined before
+    /// this returns. `Err` if `f` itself (or an unjoined child) panicked.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(Scope { inner: s }))
+        }))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn scope_spawns_and_joins() {
+            let data = vec![1u64, 2, 3, 4];
+            let total: u64 = super::scope(|scope| {
+                let handles: Vec<_> = data
+                    .iter()
+                    .map(|&x| scope.spawn(move |_| x * 10))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("no panic"))
+                    .sum()
+            })
+            .expect("scope ok");
+            assert_eq!(total, 100);
+        }
+
+        #[test]
+        fn panics_surface_at_join() {
+            let r = super::scope(|scope| {
+                let h = scope.spawn(|_| -> u32 { panic!("boom") });
+                h.join()
+            })
+            .expect("scope closure itself did not panic");
+            assert!(r.is_err());
+        }
+    }
+}

@@ -1,0 +1,9 @@
+//! Glob-import surface mirroring `proptest::prelude`.
+
+pub use crate::strategy::{any, Strategy};
+pub use crate::test_runner::{ProptestConfig, TestCaseError};
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+// Upstream exposes the crate root as `prop` through the prelude, enabling
+// `prop::collection::vec(...)`.
+pub use crate as prop;

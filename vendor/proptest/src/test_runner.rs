@@ -1,0 +1,69 @@
+//! Runner configuration, case outcomes, and the deterministic RNG behind
+//! strategy sampling.
+
+/// Per-block configuration; only `cases` is modeled.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; 64 keeps the deterministic stub snappy
+        // while still sweeping a meaningful input volume.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Outcome of a single generated case.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` precondition failed; the case is discarded.
+    Reject(String),
+    /// `prop_assert!`-style failure; the test panics with this message.
+    Fail(String),
+}
+
+/// SplitMix64 generator seeded from the test name (FNV-1a), so each property
+/// explores its own deterministic input stream.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn from_name(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng { state: h }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, span)` via widening multiply.
+    pub fn below(&mut self, span: u128) -> u128 {
+        debug_assert!(span > 0);
+        (u128::from(self.next_u64()) * span) >> 64
+    }
+}

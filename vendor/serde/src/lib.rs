@@ -1,0 +1,36 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace only uses serde as *trait bounds* and `#[derive(...)]`
+//! attributes — nothing actually serializes through it in this build
+//! environment. The traits are therefore pure markers with blanket
+//! implementations, and the derives (re-exported from the `serde_derive`
+//! stub behind the `derive` feature, like upstream) expand to nothing.
+//! Swapping in the real crate is a manifest-only change.
+
+/// Marker for types that can be serialized. Blanket-implemented for all
+/// types; upstream bounds like `T: Serialize` are always satisfied.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker for types that can be deserialized from a borrow with lifetime
+/// `'de`. Blanket-implemented so `for<'de> Deserialize<'de>` bounds hold.
+pub trait Deserialize<'de>: Sized {}
+
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Owned-deserialization alias, mirroring `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+pub mod de {
+    pub use super::{Deserialize, DeserializeOwned};
+}
+
+pub mod ser {
+    pub use super::Serialize;
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
