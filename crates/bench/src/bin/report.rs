@@ -6,7 +6,7 @@
 //!   cargo run --release -p prima-bench --bin report -- fast    # skip slow rows
 //!
 //! Exhibits: fig2 (≡ table1), table2, fig3, fig5, table3, table4, fig6,
-//! table5, table6, table7, table8, ablations, verify.
+//! table5, table6, table7, table8, ablations, verify, erc.
 
 use prima_bench::*;
 
@@ -24,6 +24,7 @@ const EXHIBITS: &[&str] = &[
     "table8",
     "ablations",
     "verify",
+    "erc",
 ];
 
 fn main() {
@@ -88,5 +89,8 @@ fn main() {
     }
     if run("verify") {
         println!("{}", verify_summary(&env));
+    }
+    if run("erc") {
+        println!("{}", erc_summary(&env));
     }
 }

@@ -1,0 +1,289 @@
+//! Structured diagnostics shared by every static gate.
+//!
+//! Both sign-off passes — `prima-verify` (geometry + connectivity) and
+//! `prima-erc` (electrical rules + symmetry lints) — report through the
+//! same types: a [`Violation`] names the rule that fired, where, and by
+//! how much; a [`VerifyReport`] aggregates one pass. Keeping the types
+//! here (below both crates in the dependency graph) means the flow can
+//! gate on either report identically and bench tooling prints them with
+//! one code path.
+
+use std::fmt;
+
+use prima_geom::Rect;
+use serde::{Deserialize, Serialize};
+
+/// How bad a finding is. Gates fail on [`Severity::Error`]; warnings are
+/// surfaced but do not abort a flow.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Severity {
+    /// Must be fixed; the gate fails.
+    #[default]
+    Error,
+    /// Suspicious but not fatal; reported without failing the gate.
+    Warning,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        })
+    }
+}
+
+/// What kind of check produced a violation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RuleKind {
+    /// Shape narrower than the layer's minimum width.
+    Width,
+    /// Same-layer clearance below minimum spacing.
+    Spacing,
+    /// Connected component below minimum area.
+    Area,
+    /// Shape off its placement grid.
+    Grid,
+    /// Via cut insufficiently enclosed by metal.
+    Enclosure,
+    /// Geometric overlap of shapes on different nets.
+    Short,
+    /// Overlapping placed cell outlines.
+    Placement,
+    /// Net electrically broken (or a pin left unreached).
+    Open,
+    /// Expected net with no drawn wiring at all.
+    Missing,
+    /// Flow-level consistency lint (weights, bins, port intervals).
+    Lint,
+    /// Electromigration: current density beyond a wire or via limit.
+    Em,
+    /// Static IR drop on a supply net beyond the technology budget.
+    Ir,
+    /// Symmetry or matching constraint not honored in geometry.
+    Symmetry,
+    /// Floating gate: a net that nothing drives.
+    Floating,
+    /// Declared primitive port left unconnected.
+    Dangling,
+    /// Cell farther from a well tap row than the technology allows.
+    Tap,
+}
+
+impl RuleKind {
+    /// `true` for the kinds produced by the electrical (ERC) pass.
+    pub fn is_electrical(self) -> bool {
+        matches!(
+            self,
+            RuleKind::Em
+                | RuleKind::Ir
+                | RuleKind::Symmetry
+                | RuleKind::Floating
+                | RuleKind::Dangling
+                | RuleKind::Tap
+        )
+    }
+}
+
+impl fmt::Display for RuleKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RuleKind::Width => "width",
+            RuleKind::Spacing => "spacing",
+            RuleKind::Area => "area",
+            RuleKind::Grid => "grid",
+            RuleKind::Enclosure => "enclosure",
+            RuleKind::Short => "short",
+            RuleKind::Placement => "placement",
+            RuleKind::Open => "open",
+            RuleKind::Missing => "missing",
+            RuleKind::Lint => "lint",
+            RuleKind::Em => "em",
+            RuleKind::Ir => "ir",
+            RuleKind::Symmetry => "symmetry",
+            RuleKind::Floating => "floating",
+            RuleKind::Dangling => "dangling",
+            RuleKind::Tap => "tap",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One structured diagnostic: which rule failed, where, and by how much.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Violation {
+    /// Stable rule identifier, e.g. `"M2.SPACE"`, `"LVS.OPEN"`,
+    /// `"EM.WIDTH"`, `"SYM.MIRROR"`, `"LINT.WEIGHTS"`.
+    pub rule_id: String,
+    /// What kind of check fired.
+    pub kind: RuleKind,
+    /// How bad the finding is.
+    pub severity: Severity,
+    /// Drawn layer involved, when the rule is geometric.
+    pub layer: Option<String>,
+    /// Cell instance or net the violation belongs to, when known.
+    pub scope: Option<String>,
+    /// Offending rectangles (cell-local for cell DRC, chip coordinates
+    /// for placement/routing checks).
+    pub rects: Vec<Rect>,
+    /// Measured value (nm, nm² for area; µV or µA for electrical rules),
+    /// when the rule is quantitative.
+    pub found: Option<i64>,
+    /// Required value the measurement failed against.
+    pub required: Option<i64>,
+    /// Human-readable one-line explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.rule_id, self.message)?;
+        if let (Some(found), Some(required)) = (self.found, self.required) {
+            write!(f, " (found {found}, required {required})")?;
+        }
+        Ok(())
+    }
+}
+
+/// Aggregated result of a verification pass.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct VerifyReport {
+    /// Circuit (or cell) the pass ran on.
+    pub circuit: String,
+    /// Names of the checks that actually ran, in order.
+    pub checks_run: Vec<String>,
+    /// All violations found, in discovery order.
+    pub violations: Vec<Violation>,
+    /// Number of nets examined by the connectivity pass.
+    pub nets_checked: usize,
+    /// Number of rectangles examined by the DRC pass.
+    pub rects_checked: usize,
+}
+
+impl VerifyReport {
+    /// `true` when no check fired.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Number of violations of one kind.
+    pub fn count(&self, kind: RuleKind) -> usize {
+        self.violations.iter().filter(|v| v.kind == kind).count()
+    }
+
+    /// Number of [`Severity::Error`] findings.
+    pub fn error_count(&self) -> usize {
+        self.violations
+            .iter()
+            .filter(|v| v.severity == Severity::Error)
+            .count()
+    }
+
+    /// `true` if some violation carries the given rule id.
+    pub fn has_rule(&self, rule_id: &str) -> bool {
+        self.violations.iter().any(|v| v.rule_id == rule_id)
+    }
+
+    /// One-line summary suitable for a bench report.
+    pub fn summary(&self) -> String {
+        if self.is_clean() {
+            format!(
+                "{}: clean ({} rects, {} nets, {} checks)",
+                self.circuit,
+                self.rects_checked,
+                self.nets_checked,
+                self.checks_run.len()
+            )
+        } else {
+            format!(
+                "{}: {} violation(s) — drc {} / lvs {} / erc {} / lint {}",
+                self.circuit,
+                self.violations.len(),
+                self.violations
+                    .iter()
+                    .filter(|v| {
+                        !v.kind.is_electrical()
+                            && !matches!(
+                                v.kind,
+                                RuleKind::Open
+                                    | RuleKind::Missing
+                                    | RuleKind::Short
+                                    | RuleKind::Lint
+                            )
+                    })
+                    .count(),
+                self.violations
+                    .iter()
+                    .filter(|v| {
+                        matches!(v.kind, RuleKind::Open | RuleKind::Missing | RuleKind::Short)
+                    })
+                    .count(),
+                self.violations
+                    .iter()
+                    .filter(|v| v.kind.is_electrical())
+                    .count(),
+                self.count(RuleKind::Lint),
+            )
+        }
+    }
+
+    /// Records that a named check ran and appends its findings.
+    pub fn absorb(&mut self, check: &str, mut violations: Vec<Violation>) {
+        self.checks_run.push(check.to_string());
+        self.violations.append(&mut violations);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(rule_id: &str, kind: RuleKind, severity: Severity) -> Violation {
+        Violation {
+            rule_id: rule_id.to_string(),
+            kind,
+            severity,
+            layer: None,
+            scope: None,
+            rects: Vec::new(),
+            found: Some(3),
+            required: Some(2),
+            message: "test finding".to_string(),
+        }
+    }
+
+    #[test]
+    fn report_counts_by_kind_severity_and_rule() {
+        let mut report = VerifyReport {
+            circuit: "fixture".into(),
+            ..VerifyReport::default()
+        };
+        report.absorb("erc.em", vec![v("EM.WIDTH", RuleKind::Em, Severity::Error)]);
+        report.absorb(
+            "erc.symmetry",
+            vec![v("SYM.MIRROR", RuleKind::Symmetry, Severity::Warning)],
+        );
+        assert!(!report.is_clean());
+        assert_eq!(report.count(RuleKind::Em), 1);
+        assert_eq!(report.error_count(), 1);
+        assert!(report.has_rule("SYM.MIRROR"));
+        assert!(!report.has_rule("IR.BUDGET"));
+        assert_eq!(report.checks_run, vec!["erc.em", "erc.symmetry"]);
+        assert!(report.summary().contains("erc 2"));
+    }
+
+    #[test]
+    fn violation_display_includes_measurement() {
+        let s = v("EM.WIDTH", RuleKind::Em, Severity::Error).to_string();
+        assert_eq!(s, "EM.WIDTH: test finding (found 3, required 2)");
+    }
+
+    #[test]
+    fn diagnostics_are_serializable() {
+        // Compile-time check that the full tree implements Serialize and
+        // Deserialize (the workspace keeps serde formats out of its deps).
+        fn assert_serde<T: serde::Serialize + for<'de> serde::Deserialize<'de>>() {}
+        assert_serde::<VerifyReport>();
+        assert_serde::<Violation>();
+    }
+}

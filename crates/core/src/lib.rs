@@ -40,6 +40,7 @@
 
 pub mod accounting;
 pub mod cost;
+pub mod diagnostics;
 pub mod ports;
 pub mod selection;
 pub mod tuning;
@@ -52,7 +53,10 @@ use prima_primitives::EvalError;
 
 pub use accounting::{Phase, SimCounter};
 pub use cost::{cost_of, deviation_percent, CostBreakdown};
-pub use ports::{reconcile, route_wire, GlobalRoute, PortConstraint, ReconciledNet};
+pub use diagnostics::{RuleKind, Severity, VerifyReport, Violation};
+pub use ports::{
+    clamp_to_em_floor, reconcile, route_wire, GlobalRoute, PortConstraint, ReconciledNet,
+};
 pub use selection::{enumerate_configs, Evaluated};
 
 /// Errors from the optimization flow.

@@ -201,6 +201,34 @@ pub(crate) fn interval_from_costs(costs: &[f64]) -> (u32, Option<u32>) {
     (w_min, w_max)
 }
 
+/// Algorithm 2 electromigration closure: raises every `[w_min, w_max]`
+/// interval on a net so reconciliation can never choose fewer parallel
+/// routes than the EM-safe count `floor` (see
+/// [`prima_pdk::Technology::em_required_routes`]).
+///
+/// `w_min` is clamped up to the floor and any finite `w_max` below it is
+/// lifted to exactly the floor, so intervals stay non-empty and the
+/// reconciled width still lies inside every published interval — both the
+/// overlapped fast path (`max` of lower bounds) and the disjoint cost-sum
+/// search then operate entirely at or above the floor. A floor of 0 or 1
+/// is a no-op: one route is always allowed to carry a within-limit
+/// current.
+pub fn clamp_to_em_floor(constraints: &mut [PortConstraint], floor: u32) {
+    if floor <= 1 {
+        return;
+    }
+    for c in constraints.iter_mut() {
+        if c.w_min < floor {
+            c.w_min = floor;
+        }
+        if let Some(m) = c.w_max {
+            if m < floor {
+                c.w_max = Some(floor);
+            }
+        }
+    }
+}
+
 /// Algorithm 2, step 2: reconciles the constraints that several primitives
 /// place on one net.
 ///
@@ -341,6 +369,69 @@ mod tests {
     #[should_panic(expected = "no constraints")]
     fn reconcile_empty_panics() {
         let _ = reconcile(&[]);
+    }
+
+    #[test]
+    fn em_floor_lifts_overlapped_reconciliation() {
+        let mut cons = vec![
+            PortConstraint {
+                net: "n3".into(),
+                w_min: 1,
+                w_max: None,
+                costs: vec![5.0, 4.0, 3.5],
+            },
+            PortConstraint {
+                net: "n3".into(),
+                w_min: 2,
+                w_max: None,
+                costs: vec![4.5, 3.4, 3.0],
+            },
+        ];
+        clamp_to_em_floor(&mut cons, 4);
+        let r = reconcile(&cons);
+        assert!(r.overlapped);
+        assert_eq!(r.w, 4, "EM floor must win over the cost-derived bound");
+    }
+
+    #[test]
+    fn em_floor_keeps_disjoint_intervals_nonempty() {
+        // Both upper bounds start below the floor; after clamping the
+        // search range collapses onto the floor itself.
+        let mut cons = vec![
+            PortConstraint {
+                net: "x".into(),
+                w_min: 1,
+                w_max: Some(2),
+                costs: vec![1.0, 1.0, 3.0, 6.0, 10.0, 15.0],
+            },
+            PortConstraint {
+                net: "x".into(),
+                w_min: 3,
+                w_max: Some(4),
+                costs: vec![9.0, 7.0, 5.0, 3.0, 2.0, 1.8],
+            },
+        ];
+        clamp_to_em_floor(&mut cons, 5);
+        for c in &cons {
+            assert!(c.w_max.is_none_or(|m| m >= c.w_min), "empty interval");
+        }
+        let r = reconcile(&cons);
+        assert_eq!(r.w, 5);
+    }
+
+    #[test]
+    fn em_floor_of_one_changes_nothing() {
+        let orig = vec![PortConstraint {
+            net: "y".into(),
+            w_min: 2,
+            w_max: Some(3),
+            costs: vec![2.0, 1.0, 1.5],
+        }];
+        let mut cons = orig.clone();
+        clamp_to_em_floor(&mut cons, 1);
+        assert_eq!(cons, orig);
+        clamp_to_em_floor(&mut cons, 0);
+        assert_eq!(cons, orig);
     }
 
     #[test]

@@ -1,0 +1,298 @@
+//! Electromigration checks: current propagation over the routed Steiner
+//! tree, wire-width checks per segment, via-cut checks per stack level.
+//!
+//! The flow derives a worst-case DC current bound per net from the
+//! primitive operating points; this module distributes that bound over
+//! the net's routed topology. Each routed segment splits the route tree
+//! in two — by KCL the current crossing it can never exceed the smaller
+//! of the two sides' terminal budgets — so per-segment bounds tighten
+//! automatically for multi-terminal nets while two-terminal nets keep the
+//! full branch current. Checks then compare each segment's bound against
+//! `k × limit` where `k` is the net's parallel-route count and the limits
+//! are data on [`prima_pdk::ElectricalRules`].
+
+use std::collections::HashMap;
+
+use prima_core::diagnostics::{RuleKind, Severity, Violation};
+use prima_geom::{Point, Rect};
+use prima_pdk::Technology;
+use prima_route::{NetRoute, RoutingResult};
+
+use crate::NetCurrent;
+
+/// Relative slack before a limit counts as violated, so a current sitting
+/// exactly at `k × limit` (the clamp's equality case) passes.
+const REL_TOL: f64 = 1e-9;
+
+fn ua(amps: f64) -> i64 {
+    (amps * 1e6).round() as i64
+}
+
+/// The EM-safe parallel-route count for a whole net: enough routes that
+/// every layer the route touches — and every via level of its access
+/// stacks — stays within limits at the net's worst-case current. This is
+/// exactly the floor [`prima_core::clamp_to_em_floor`] applies during
+/// Algorithm 2 reconciliation, which is what makes optimized flows pass
+/// the segment checks by construction.
+pub fn em_floor(tech: &Technology, route: &NetRoute, worst_a: f64) -> u32 {
+    route
+        .len_per_layer()
+        .iter()
+        .map(|&(layer, _)| tech.em_required_routes(layer, worst_a))
+        .max()
+        .unwrap_or(1)
+}
+
+/// Worst-case current (A) per routed segment, in `route.segments` order.
+///
+/// Terminal budgets from `taps` are attached to the nearest segment
+/// endpoint and propagated with the min-cut rule described in the module
+/// docs. When the route graph is not a tree, or no tap carries a budget,
+/// every segment conservatively gets the full `worst_a`.
+pub fn segment_currents(route: &NetRoute, taps: &[(Point, f64)], worst_a: f64) -> Vec<f64> {
+    let segs = &route.segments;
+    let fallback = vec![worst_a; segs.len()];
+    if segs.is_empty() || taps.is_empty() {
+        return fallback;
+    }
+
+    // Node table over unique segment endpoints.
+    let mut index: HashMap<Point, usize> = HashMap::new();
+    let mut nodes: Vec<Point> = Vec::new();
+    let mut node_of = |p: Point, nodes: &mut Vec<Point>| -> usize {
+        *index.entry(p).or_insert_with(|| {
+            nodes.push(p);
+            nodes.len() - 1
+        })
+    };
+    let mut edges: Vec<(usize, usize)> = Vec::with_capacity(segs.len());
+    for s in segs {
+        let a = node_of(s.from, &mut nodes);
+        let b = node_of(s.to, &mut nodes);
+        edges.push((a, b));
+    }
+
+    // A Steiner tree has exactly one fewer edge than nodes; anything else
+    // (cycles, disconnected pieces) falls back to the net-wide bound.
+    if edges.len() + 1 != nodes.len() {
+        return fallback;
+    }
+    let mut adj: Vec<Vec<(usize, usize)>> = vec![Vec::new(); nodes.len()];
+    for (i, &(a, b)) in edges.iter().enumerate() {
+        adj[a].push((b, i));
+        adj[b].push((a, i));
+    }
+
+    // Attach each terminal budget to its nearest endpoint.
+    let mut weight = vec![0.0f64; nodes.len()];
+    for &(p, amps) in taps {
+        let nearest = (0..nodes.len())
+            .min_by_key(|&i| nodes[i].manhattan(p))
+            .expect("nonempty nodes");
+        weight[nearest] += amps.abs();
+    }
+    let total: f64 = weight.iter().sum();
+    if total <= 0.0 {
+        return fallback;
+    }
+
+    // For each edge: sum of budgets on the `from` side when the edge is
+    // cut. A DFS that refuses to cross the cut edge visits exactly that
+    // side (the graph is a tree, so connectivity is unambiguous).
+    let mut out = Vec::with_capacity(edges.len());
+    for (cut, &(a, _)) in edges.iter().enumerate() {
+        let mut side = 0.0f64;
+        let mut seen = vec![false; nodes.len()];
+        let mut stack = vec![a];
+        seen[a] = true;
+        while let Some(n) = stack.pop() {
+            side += weight[n];
+            for &(m, e) in &adj[n] {
+                if e != cut && !seen[m] {
+                    seen[m] = true;
+                    stack.push(m);
+                }
+            }
+        }
+        out.push(side.min(total - side).min(worst_a));
+    }
+    out
+}
+
+fn seg_rect(from: Point, to: Point) -> Rect {
+    Rect::new(from, to)
+}
+
+/// Runs the EM pass: per-segment wire checks and per-level via checks for
+/// every net with a known current bound and a route.
+pub fn check(
+    tech: &Technology,
+    routing: Option<&RoutingResult>,
+    net_widths: &HashMap<String, u32>,
+    net_currents: &[NetCurrent],
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let Some(routing) = routing else {
+        return out;
+    };
+    for nc in net_currents {
+        let Some(route) = routing.net(&nc.net) else {
+            continue;
+        };
+        let k = net_widths.get(&nc.net).copied().unwrap_or(1).max(1);
+        let currents = segment_currents(route, &nc.taps, nc.worst_a);
+        for (seg, &amps) in route.segments.iter().zip(&currents) {
+            let capacity = k as f64 * tech.em_wire_limit_a(seg.layer);
+            if amps > capacity * (1.0 + REL_TOL) {
+                out.push(Violation {
+                    rule_id: "EM.WIDTH".to_string(),
+                    kind: RuleKind::Em,
+                    severity: Severity::Error,
+                    layer: Some(format!("M{}", seg.layer)),
+                    scope: Some(nc.net.clone()),
+                    rects: vec![seg_rect(seg.from, seg.to)],
+                    found: Some(ua(amps)),
+                    required: Some(ua(capacity)),
+                    message: format!(
+                        "net {}: segment on M{} carries {} µA worst-case but {} \
+                         parallel route(s) allow {} µA",
+                        nc.net,
+                        seg.layer,
+                        ua(amps),
+                        k,
+                        ua(capacity)
+                    ),
+                });
+            }
+        }
+        // Via stacks: each route end drops from M1 up to the routing
+        // layer with k cuts per level, and the current entering one end
+        // is bounded by that terminal's own budget.
+        let Some(max_layer) = route.segments.iter().map(|s| s.layer).max() else {
+            continue;
+        };
+        let end_a = if nc.taps.is_empty() {
+            nc.worst_a
+        } else {
+            nc.taps
+                .iter()
+                .map(|&(_, a)| a.abs())
+                .fold(0.0f64, f64::max)
+                .min(nc.worst_a)
+        };
+        for level in 1..max_layer {
+            let capacity = k as f64 * tech.em_via_limit_a(level);
+            if end_a > capacity * (1.0 + REL_TOL) {
+                out.push(Violation {
+                    rule_id: "EM.VIA".to_string(),
+                    kind: RuleKind::Em,
+                    severity: Severity::Error,
+                    layer: Some(format!("V{level}")),
+                    scope: Some(nc.net.clone()),
+                    rects: Vec::new(),
+                    found: Some(ua(end_a)),
+                    required: Some(ua(capacity)),
+                    message: format!(
+                        "net {}: {} µA through a {}-cut V{level} stack; limit {} µA",
+                        nc.net,
+                        ua(end_a),
+                        k,
+                        ua(capacity)
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prima_route::Segment;
+
+    fn route(segments: Vec<Segment>) -> NetRoute {
+        NetRoute {
+            net: "n".into(),
+            segments,
+            via_count: 2,
+        }
+    }
+
+    fn seg(layer: usize, from: (i64, i64), to: (i64, i64)) -> Segment {
+        Segment {
+            layer,
+            from: Point::new(from.0, from.1),
+            to: Point::new(to.0, to.1),
+        }
+    }
+
+    #[test]
+    fn two_pin_net_carries_the_branch_current() {
+        let r = route(vec![
+            seg(3, (0, 0), (0, 900)),
+            seg(4, (0, 900), (1200, 900)),
+        ]);
+        let taps = vec![(Point::new(0, 0), 0.5e-3), (Point::new(1200, 900), 0.5e-3)];
+        let i = segment_currents(&r, &taps, 0.5e-3);
+        assert_eq!(i, vec![0.5e-3, 0.5e-3]);
+    }
+
+    #[test]
+    fn star_net_splits_current_per_branch() {
+        // Three pins fanning out of a common point: each spoke carries
+        // only its own terminal's budget.
+        let r = route(vec![
+            seg(3, (0, 0), (0, 500)),
+            seg(3, (0, 500), (0, 1000)),
+            seg(4, (0, 500), (800, 500)),
+        ]);
+        let taps = vec![
+            (Point::new(0, 0), 0.6e-3),
+            (Point::new(0, 1000), 0.2e-3),
+            (Point::new(800, 500), 0.4e-3),
+        ];
+        let i = segment_currents(&r, &taps, 0.6e-3);
+        // Spoke to the 0.6 source: min(0.6, 0.2+0.4) = 0.6.
+        assert!((i[0] - 0.6e-3).abs() < 1e-12);
+        // Spoke to the 0.2 sink: min(0.2, 1.0) = 0.2.
+        assert!((i[1] - 0.2e-3).abs() < 1e-12);
+        // Spoke to the 0.4 sink.
+        assert!((i[2] - 0.4e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_tree_topology_falls_back_to_worst_case() {
+        // Two disjoint segments (disconnected graph).
+        let r = route(vec![seg(3, (0, 0), (0, 500)), seg(3, (900, 0), (900, 500))]);
+        let taps = vec![(Point::new(0, 0), 0.1e-3)];
+        let i = segment_currents(&r, &taps, 0.3e-3);
+        assert_eq!(i, vec![0.3e-3, 0.3e-3]);
+    }
+
+    #[test]
+    fn floor_covers_every_layer_and_level_used() {
+        let tech = Technology::finfet7();
+        let r = route(vec![
+            seg(3, (0, 0), (0, 2000)),
+            seg(4, (0, 2000), (2000, 2000)),
+        ]);
+        // 0.7 mA needs 4 routes on M3 (0.192 mA per wire) — M4 alone
+        // would need only ceil(0.7/0.224) = 4 too; the max wins.
+        assert_eq!(em_floor(&tech, &r, 0.7e-3), 4);
+        assert_eq!(em_floor(&tech, &r, 0.1e-3), 1);
+    }
+
+    #[test]
+    fn more_current_never_needs_fewer_routes() {
+        let tech = Technology::finfet7();
+        let r = route(vec![seg(3, (0, 0), (0, 2000))]);
+        let mut prev = 0;
+        for step in 0..60 {
+            let amps = step as f64 * 25e-6;
+            let k = em_floor(&tech, &r, amps);
+            assert!(k >= prev, "floor dropped from {prev} to {k} at {amps}");
+            prev = k;
+        }
+    }
+}

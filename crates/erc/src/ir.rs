@@ -1,0 +1,84 @@
+//! Static IR-drop estimation on supply nets.
+//!
+//! Each instance's supply path is the power-grid feed (estimated during
+//! grid synthesis from strap geometry and per-block currents) in series
+//! with the cell-internal supply access wiring (from layout extraction).
+//! The total drop at every instance must stay inside the technology's
+//! budget, a fraction of `vdd` stored on
+//! [`prima_pdk::ElectricalRules::ir_frac_vdd`].
+
+use prima_core::diagnostics::{RuleKind, Severity, Violation};
+use prima_pdk::Technology;
+
+use crate::SupplyTap;
+
+fn uv(volts: f64) -> i64 {
+    (volts * 1e6).round() as i64
+}
+
+/// Total static drop (V) seen at one supply tap.
+pub fn tap_drop_v(tap: &SupplyTap) -> f64 {
+    tap.grid_drop_v + tap.current_a.abs() * tap.internal_r_ohm.max(0.0)
+}
+
+/// Flags every supply tap whose static drop exceeds the budget.
+pub fn check(tech: &Technology, supply: &[SupplyTap]) -> Vec<Violation> {
+    let budget = tech.ir_budget_v();
+    let mut out = Vec::new();
+    for tap in supply {
+        let drop = tap_drop_v(tap);
+        if drop > budget {
+            out.push(Violation {
+                rule_id: "IR.BUDGET".to_string(),
+                kind: RuleKind::Ir,
+                severity: Severity::Error,
+                layer: None,
+                scope: Some(tap.instance.clone()),
+                rects: Vec::new(),
+                found: Some(uv(drop)),
+                required: Some(uv(budget)),
+                message: format!(
+                    "{} on {}: static drop {} µV exceeds the {} µV budget \
+                     (grid {} µV + {} µA × {:.2} Ω internal)",
+                    tap.instance,
+                    tap.net,
+                    uv(drop),
+                    uv(budget),
+                    uv(tap.grid_drop_v),
+                    (tap.current_a.abs() * 1e6).round(),
+                    tap.internal_r_ohm
+                ),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn within_budget_is_clean_and_over_budget_fires() {
+        let tech = Technology::finfet7(); // budget = 0.05 × 0.8 V = 40 mV
+        let ok = SupplyTap {
+            instance: "m1".into(),
+            net: "vdd".into(),
+            current_a: 300e-6,
+            grid_drop_v: 5e-3,
+            internal_r_ohm: 10.0,
+        };
+        assert!(check(&tech, std::slice::from_ref(&ok)).is_empty());
+
+        let bad = SupplyTap {
+            grid_drop_v: 39e-3,
+            internal_r_ohm: 20.0, // + 6 mV internal → 45 mV total
+            ..ok
+        };
+        let v = check(&tech, &[bad]);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule_id, "IR.BUDGET");
+        assert_eq!(v[0].found, Some(45_000));
+        assert_eq!(v[0].required, Some(40_000));
+    }
+}

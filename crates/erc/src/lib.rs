@@ -1,0 +1,203 @@
+//! # prima-erc
+//!
+//! SPICE-free *electrical* static analysis of generated layouts — the
+//! second sign-off gate next to `prima-verify`'s geometric one:
+//!
+//! * **Electromigration** ([`em`]): per-net worst-case current bounds
+//!   (derived by the flow from the primitive bias/operating points) are
+//!   propagated across the routed Steiner topology, and every segment's
+//!   parallel-route count and via-cut count is checked against the EM
+//!   limits stored as data in [`prima_pdk::ElectricalRules`].
+//! * **Static IR drop** ([`ir`]): the power-grid feed drop plus the
+//!   cell-internal supply-access resistance of every instance must stay
+//!   inside the technology's budget (a fraction of `vdd`).
+//! * **Symmetry / matching lints** ([`symmetry`]): placer-declared
+//!   symmetric pairs must sit mirrored in one row with matched outlines,
+//!   and common-centroid primitives must have coincident device
+//!   centroids.
+//! * **Connectivity hygiene** ([`connect`]): floating gate nets, declared
+//!   but unconnected primitive ports, and cells too far from a well-tap
+//!   row.
+//!
+//! Findings reuse the structured diagnostics of
+//! [`prima_core::diagnostics`] — every rule fires as a [`Violation`] with
+//! a stable id (`EM.WIDTH`, `EM.VIA`, `IR.BUDGET`, `SYM.MIRROR`,
+//! `SYM.CENTROID`, `ERC.FLOAT`, `ERC.DANGLE`, `ERC.TAP`) — and aggregate
+//! into the same [`VerifyReport`] the geometric gate returns, so flows
+//! gate on both identically.
+//!
+//! The crate is deliberately data-driven: [`ErcArtifacts`] carries plain
+//! positions, currents, and resistances, so `prima-flow` can assemble it
+//! from a real run and tests can seed single-defect fixtures directly.
+
+#![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
+use std::collections::HashMap;
+
+use prima_geom::{Nm, Point, Rect};
+use prima_pdk::Technology;
+use prima_route::RoutingResult;
+
+pub use prima_core::diagnostics::{RuleKind, Severity, VerifyReport, Violation};
+
+pub mod connect;
+pub mod em;
+pub mod ir;
+pub mod symmetry;
+
+/// Worst-case current picture of one signal net.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetCurrent {
+    /// Net name.
+    pub net: String,
+    /// Worst-case DC current bound (A) anywhere on the net.
+    pub worst_a: f64,
+    /// Pin positions with the per-tap current bound (A) each terminal can
+    /// source or sink. Used to propagate currents across the route tree;
+    /// when empty every segment is charged the full `worst_a`.
+    pub taps: Vec<(Point, f64)>,
+}
+
+/// One instance's connection to a supply net, with everything needed for
+/// a static IR estimate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SupplyTap {
+    /// Instance name.
+    pub instance: String,
+    /// Supply net (`vdd`, `vssn`, …).
+    pub net: String,
+    /// Supply current drawn by the instance (A).
+    pub current_a: f64,
+    /// IR drop already accumulated in the power grid feed (V).
+    pub grid_drop_v: f64,
+    /// Cell-internal supply access resistance (Ω), from extraction.
+    pub internal_r_ohm: f64,
+}
+
+/// A placer-declared symmetric instance pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SymmetryPair {
+    /// First instance name.
+    pub a: String,
+    /// Second instance name.
+    pub b: String,
+}
+
+/// Device centroids of one common-centroid primitive cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CentroidGroup {
+    /// Instance the group lives in.
+    pub instance: String,
+    /// `(device, x-centroid in nm)` for every matched device of the cell.
+    pub centroids: Vec<(String, f64)>,
+}
+
+/// One primitive port's connection to a circuit net.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PortTap {
+    /// Instance name.
+    pub instance: String,
+    /// Port name on the primitive.
+    pub port: String,
+    /// Circuit net the port is tied to.
+    pub net: String,
+    /// `true` when the port reaches only transistor gates inside the
+    /// primitive (it conducts no DC current and drives nothing).
+    pub is_gate_only: bool,
+}
+
+/// Everything the flow hands to [`check_erc`]. Build one with
+/// [`ErcArtifacts::new`] and fill in whatever stages actually ran; checks
+/// whose inputs are absent are skipped, never failed.
+#[derive(Debug, Clone)]
+pub struct ErcArtifacts<'a> {
+    /// Circuit name, used in diagnostics.
+    pub circuit: String,
+    /// Technology whose [`prima_pdk::ElectricalRules`] are enforced.
+    pub tech: &'a Technology,
+    /// Global routing, for EM propagation over the Steiner topology.
+    pub routing: Option<&'a RoutingResult>,
+    /// Parallel-route count per net, as chosen by Algorithm 2 (nets
+    /// missing from the map are single-route).
+    pub net_widths: HashMap<String, u32>,
+    /// Per-net worst-case currents for the EM pass.
+    pub net_currents: Vec<NetCurrent>,
+    /// Supply connections for the IR pass.
+    pub supply: Vec<SupplyTap>,
+    /// Placed instance outlines, chip coordinates.
+    pub outlines: Vec<(String, Rect)>,
+    /// Placer-declared symmetric pairs.
+    pub pairs: Vec<SymmetryPair>,
+    /// Common-centroid groups to check for coincident centroids.
+    pub centroid_groups: Vec<CentroidGroup>,
+    /// Every primitive port with its net binding.
+    pub port_taps: Vec<PortTap>,
+    /// Declared ports per instance (to catch dangling ports).
+    pub declared_ports: Vec<(String, Vec<String>)>,
+    /// Nets driven from outside the circuit (top-level inputs, clocks,
+    /// bias pins); gate-only nets listed here are not floating.
+    pub external_nets: Vec<String>,
+    /// Y coordinates of well-tap / power-strap rows (chip coordinates).
+    pub tap_rows: Vec<Nm>,
+}
+
+impl<'a> ErcArtifacts<'a> {
+    /// Starts an artifact bundle with nothing attached.
+    pub fn new(circuit: impl Into<String>, tech: &'a Technology) -> Self {
+        ErcArtifacts {
+            circuit: circuit.into(),
+            tech,
+            routing: None,
+            net_widths: HashMap::new(),
+            net_currents: Vec::new(),
+            supply: Vec::new(),
+            outlines: Vec::new(),
+            pairs: Vec::new(),
+            centroid_groups: Vec::new(),
+            port_taps: Vec::new(),
+            declared_ports: Vec::new(),
+            external_nets: Vec::new(),
+            tap_rows: Vec::new(),
+        }
+    }
+}
+
+/// Runs every applicable electrical check over the artifacts and returns
+/// the full report. Checks are independent; one firing never hides
+/// another.
+pub fn check_erc(artifacts: &ErcArtifacts<'_>) -> VerifyReport {
+    let mut report = VerifyReport {
+        circuit: artifacts.circuit.clone(),
+        ..VerifyReport::default()
+    };
+    report.absorb(
+        "erc.em",
+        em::check(
+            artifacts.tech,
+            artifacts.routing,
+            &artifacts.net_widths,
+            &artifacts.net_currents,
+        ),
+    );
+    report.absorb("erc.ir", ir::check(artifacts.tech, &artifacts.supply));
+    report.absorb(
+        "erc.symmetry",
+        symmetry::check(
+            artifacts.tech,
+            &artifacts.outlines,
+            &artifacts.pairs,
+            &artifacts.centroid_groups,
+        ),
+    );
+    report.absorb("erc.connect", connect::check(artifacts));
+    report.nets_checked = artifacts.net_currents.len().max(
+        artifacts
+            .port_taps
+            .iter()
+            .map(|t| t.net.as_str())
+            .collect::<std::collections::HashSet<_>>()
+            .len(),
+    );
+    report
+}

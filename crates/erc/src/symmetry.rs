@@ -1,0 +1,180 @@
+//! Symmetry and matching lints over the placement.
+//!
+//! The placer *declares* symmetric pairs and the layout generator
+//! *declares* common-centroid patterns; these checks verify the resulting
+//! geometry actually honors them:
+//!
+//! * **SYM.MIRROR** — a declared pair must sit in one row (equal y) with
+//!   outlines matched in both dimensions, within the technology's
+//!   symmetry tolerance. Analog matching relies on both devices seeing
+//!   the same environment; a row or size mismatch breaks that silently.
+//! * **SYM.CENTROID** — the matched devices of a common-centroid cell
+//!   must have coincident x-centroids, within the same tolerance.
+
+use std::collections::HashMap;
+
+use prima_core::diagnostics::{RuleKind, Severity, Violation};
+use prima_geom::Rect;
+use prima_pdk::Technology;
+
+use crate::{CentroidGroup, SymmetryPair};
+
+/// Runs both symmetry lints.
+pub fn check(
+    tech: &Technology,
+    outlines: &[(String, Rect)],
+    pairs: &[SymmetryPair],
+    centroid_groups: &[CentroidGroup],
+) -> Vec<Violation> {
+    let tol = tech.electrical.sym_tolerance_nm;
+    let by_name: HashMap<&str, Rect> = outlines
+        .iter()
+        .map(|(name, rect)| (name.as_str(), *rect))
+        .collect();
+
+    let mut out = Vec::new();
+    for pair in pairs {
+        let (Some(&ra), Some(&rb)) = (by_name.get(pair.a.as_str()), by_name.get(pair.b.as_str()))
+        else {
+            // A declared pair one side of which was never placed is a
+            // mirror failure by definition.
+            out.push(mirror(
+                pair,
+                None,
+                None,
+                tol,
+                format!(
+                    "symmetric pair ({}, {}): an instance is missing from the placement",
+                    pair.a, pair.b
+                ),
+            ));
+            continue;
+        };
+        let dy = (ra.lo.y - rb.lo.y).abs();
+        let dw = (ra.width() - rb.width()).abs();
+        let dh = (ra.height() - rb.height()).abs();
+        let worst = dy.max(dw).max(dh);
+        if worst > tol {
+            out.push(mirror(
+                pair,
+                Some(worst),
+                Some(vec![ra, rb]),
+                tol,
+                format!(
+                    "symmetric pair ({}, {}): row offset {} nm, size mismatch \
+                     {}×{} nm — not mirrored within tolerance",
+                    pair.a, pair.b, dy, dw, dh
+                ),
+            ));
+        }
+    }
+
+    for group in centroid_groups {
+        if group.centroids.len() < 2 {
+            continue;
+        }
+        let xs: Vec<f64> = group.centroids.iter().map(|&(_, x)| x).collect();
+        let spread =
+            xs.iter().fold(f64::MIN, |a, &b| a.max(b)) - xs.iter().fold(f64::MAX, |a, &b| a.min(b));
+        if spread > tol as f64 {
+            let names: Vec<&str> = group.centroids.iter().map(|(n, _)| n.as_str()).collect();
+            out.push(Violation {
+                rule_id: "SYM.CENTROID".to_string(),
+                kind: RuleKind::Symmetry,
+                severity: Severity::Error,
+                layer: None,
+                scope: Some(group.instance.clone()),
+                rects: Vec::new(),
+                found: Some(spread.round() as i64),
+                required: Some(tol),
+                message: format!(
+                    "{}: common-centroid devices ({}) have centroids spread \
+                     over {} nm",
+                    group.instance,
+                    names.join(", "),
+                    spread.round()
+                ),
+            });
+        }
+    }
+    out
+}
+
+fn mirror(
+    pair: &SymmetryPair,
+    found: Option<i64>,
+    rects: Option<Vec<Rect>>,
+    tol: i64,
+    message: String,
+) -> Violation {
+    Violation {
+        rule_id: "SYM.MIRROR".to_string(),
+        kind: RuleKind::Symmetry,
+        severity: Severity::Error,
+        layer: None,
+        scope: Some(format!("{}/{}", pair.a, pair.b)),
+        rects: rects.unwrap_or_default(),
+        found,
+        required: Some(tol),
+        message,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prima_geom::Point;
+
+    fn r(x: i64, y: i64, w: i64, h: i64) -> Rect {
+        Rect::from_size(Point::new(x, y), w, h)
+    }
+
+    fn pair() -> Vec<SymmetryPair> {
+        vec![SymmetryPair {
+            a: "ma".into(),
+            b: "mb".into(),
+        }]
+    }
+
+    #[test]
+    fn matched_pair_in_one_row_is_clean() {
+        let tech = Technology::finfet7();
+        let outlines = vec![
+            ("ma".to_string(), r(0, 0, 1200, 800)),
+            ("mb".to_string(), r(1400, 0, 1200, 800)),
+        ];
+        assert!(check(&tech, &outlines, &pair(), &[]).is_empty());
+    }
+
+    #[test]
+    fn row_offset_beyond_tolerance_fires_mirror() {
+        let tech = Technology::finfet7();
+        let outlines = vec![
+            ("ma".to_string(), r(0, 0, 1200, 800)),
+            ("mb".to_string(), r(1400, 300, 1200, 800)),
+        ];
+        let v = check(&tech, &outlines, &pair(), &[]);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule_id, "SYM.MIRROR");
+        assert_eq!(v[0].found, Some(300));
+    }
+
+    #[test]
+    fn centroid_spread_fires_and_coincidence_is_clean() {
+        let tech = Technology::finfet7();
+        let good = CentroidGroup {
+            instance: "dp0".into(),
+            centroids: vec![("MA".into(), 640.0), ("MB".into(), 650.0)],
+        };
+        assert!(check(&tech, &[], &[], &[good]).is_empty());
+
+        let bad = CentroidGroup {
+            instance: "dp0".into(),
+            centroids: vec![("MA".into(), 400.0), ("MB".into(), 900.0)],
+        };
+        let v = check(&tech, &[], &[], &[bad]);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule_id, "SYM.CENTROID");
+        assert_eq!(v[0].found, Some(500));
+    }
+}

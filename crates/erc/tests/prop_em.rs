@@ -1,0 +1,95 @@
+//! Property tests for the EM model: more current never loosens a
+//! requirement, and the Algorithm 2 clamp always reconciles to an EM-safe
+//! width.
+
+#![allow(clippy::unwrap_used)]
+
+use prima_core::{clamp_to_em_floor, reconcile, PortConstraint};
+use prima_erc::em::em_floor;
+use prima_geom::Point;
+use prima_pdk::Technology;
+use prima_route::{NetRoute, Segment};
+use proptest::prelude::*;
+
+fn route_on(layers: &[usize]) -> NetRoute {
+    let segments = layers
+        .iter()
+        .enumerate()
+        .map(|(i, &layer)| Segment {
+            layer,
+            from: Point::new(0, 1000 * i as i64),
+            to: Point::new(0, 1000 * (i as i64 + 1)),
+        })
+        .collect();
+    NetRoute {
+        net: "n".into(),
+        segments,
+        via_count: 2,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The per-layer requirement is monotone in current: raising the
+    /// worst-case bound can only hold or raise the required route count.
+    #[test]
+    fn em_required_routes_is_monotone_in_current(
+        layer in 1usize..=6,
+        a in 0.0f64..2e-3,
+        delta in 0.0f64..2e-3,
+    ) {
+        let tech = Technology::finfet7();
+        let lo = tech.em_required_routes(layer, a);
+        let hi = tech.em_required_routes(layer, a + delta);
+        prop_assert!(hi >= lo, "M{layer}: {lo} routes at {a} A but {hi} at {} A", a + delta);
+        prop_assert!(lo >= 1);
+    }
+
+    /// The whole-net floor inherits the monotonicity over any route shape.
+    #[test]
+    fn em_floor_is_monotone_in_current(
+        layers in proptest::collection::vec(1usize..=6, 1..5),
+        a in 0.0f64..2e-3,
+        delta in 0.0f64..2e-3,
+    ) {
+        let tech = Technology::finfet7();
+        let r = route_on(&layers);
+        prop_assert!(em_floor(&tech, &r, a + delta) >= em_floor(&tech, &r, a));
+    }
+
+    /// Clamping then reconciling always yields a width at or above the EM
+    /// floor, whatever the port intervals looked like — the invariant that
+    /// makes optimized flows pass the EM checks by construction.
+    #[test]
+    fn clamped_reconciliation_meets_the_floor(
+        intervals in proptest::collection::vec((1u32..=6, 0u32..=8), 1..5),
+        layers in proptest::collection::vec(1usize..=6, 1..4),
+        amps in 0.0f64..2e-3,
+    ) {
+        let tech = Technology::finfet7();
+        let route = route_on(&layers);
+        let floor = em_floor(&tech, &route, amps);
+        let mut constraints: Vec<PortConstraint> = intervals
+            .iter()
+            .map(|&(w_min, extra)| PortConstraint {
+                net: "n".into(),
+                w_min,
+                w_max: if extra == 0 { None } else { Some(w_min + extra) },
+                costs: (1..=12).map(f64::from).collect(),
+            })
+            .collect();
+        clamp_to_em_floor(&mut constraints, floor);
+        for c in &constraints {
+            prop_assert!(c.w_min >= floor.min(c.w_min.max(floor)));
+            if let Some(hi) = c.w_max {
+                prop_assert!(hi >= c.w_min, "clamp left an empty interval: {c:?}");
+            }
+        }
+        let w = reconcile(&constraints).w;
+        prop_assert!(
+            w >= floor,
+            "reconciled width {w} below EM floor {floor} at {amps} A"
+        );
+    }
+}

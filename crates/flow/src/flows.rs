@@ -10,7 +10,8 @@ use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
 use prima_core::{
-    enumerate_configs, reconcile, route_wire, GlobalRoute, Optimizer, Phase, PortConstraint,
+    clamp_to_em_floor, enumerate_configs, reconcile, route_wire, GlobalRoute, Optimizer, Phase,
+    PortConstraint,
 };
 use prima_geom::Point;
 use prima_layout::{generate, render, CellConfig, PlacementPattern, PrimitiveLayout};
@@ -18,7 +19,7 @@ use prima_pdk::Technology;
 use prima_place::{Block, Net, PlacementProblem, Placer};
 use prima_primitives::{Bias, Library};
 use prima_route::detail::{DetailRouter, DetailedResult};
-use prima_route::power::{synthesize, PowerGridSpec};
+use prima_route::power::{synthesize, PowerGridSpec, PowerReport};
 use prima_route::{GlobalRouter, RoutingProblem, RoutingResult};
 use prima_verify::lints::{LintInputs, PortInterval};
 use prima_verify::{check_flow, CellArtifact, FlowArtifacts, VerifyReport};
@@ -26,6 +27,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::builder::Realization;
 use crate::circuits::CircuitSpec;
+use crate::electrical::{self, ErcBuild};
 use crate::FlowError;
 
 /// Which flow produced a result.
@@ -111,6 +113,10 @@ pub struct FlowOutcome {
     /// [`FlowOptions::verify`]). A populated report here is always clean —
     /// violations abort the flow with [`FlowError::Verify`].
     pub verify: Option<VerifyReport>,
+    /// Electrical rule check report (prima-erc: EM, IR, symmetry,
+    /// connectivity hygiene), run under the same policy right after the
+    /// geometric gate. Like `verify`, a populated report is always clean.
+    pub erc: Option<VerifyReport>,
 }
 
 /// Fallback supply-rail series resistance when the power grid cannot be
@@ -126,25 +132,25 @@ fn block_current(bias: Option<&Bias>) -> f64 {
 }
 
 /// Synthesizes the (manually-routed, in the paper's terms) power grid over
-/// a placement and returns the effective rail resistance.
-fn supply_resistance(
+/// a placement and returns the effective rail resistance together with the
+/// full grid report (strap rows and per-block feed drops feed the ERC
+/// gate's IR and well-tap checks).
+fn supply_grid(
     tech: &Technology,
-    spec: &CircuitSpec,
-    biases: &HashMap<String, Bias>,
     placement_blocks: &[(prima_geom::Rect, f64)],
     bbox: prima_geom::Rect,
-) -> f64 {
-    let _ = (spec, biases);
+) -> (f64, Option<PowerReport>) {
     if placement_blocks.is_empty() {
-        return SUPPLY_R_OHM;
+        return (SUPPLY_R_OHM, None);
     }
     let report = synthesize(tech, bbox, placement_blocks, &PowerGridSpec::default());
-    report.effective_r_ohm.clamp(0.05, 25.0)
+    let r = report.effective_r_ohm.clamp(0.05, 25.0);
+    (r, Some(report))
 }
 
 /// Nets excluded from signal routing/port optimization (power is routed
 /// manually, as in the paper).
-fn is_power_net(net: &str) -> bool {
+pub(crate) fn is_power_net(net: &str) -> bool {
     matches!(net, "vdd" | "vssn" | "vdd_ext")
 }
 
@@ -291,7 +297,7 @@ pub fn conventional_flow(
         .iter()
         .map(|(_, r)| (*r, block_current(None)))
         .collect();
-    let supply_r = supply_resistance(tech, spec, &HashMap::new(), &blocks, placed.bbox);
+    let (supply_r, power) = supply_grid(tech, &blocks, placed.bbox);
 
     // Single-wire routes everywhere: k = 1.
     let mut net_wires = HashMap::new();
@@ -342,6 +348,31 @@ pub fn conventional_flow(
         None
     };
 
+    // Electrical gate. The baseline has no operating-point data (the
+    // paper's conventional flow "performs no optimizations for
+    // parasitics"), so the EM pass has no currents to propagate and the
+    // flat placement makes no symmetry claims; IR, well-tap reach, and
+    // connectivity hygiene still apply.
+    let erc = if FlowOptions::default().verify.enabled() {
+        let report = electrical::erc_report(&ErcBuild {
+            tech,
+            lib,
+            spec,
+            biases: None,
+            routing: Some(&placed.routing),
+            widths: &HashMap::new(),
+            pins: &placed.pins,
+            rects: &placed.rects,
+            layouts: &layouts,
+            power: power.as_ref(),
+            with_currents: false,
+            with_symmetry: false,
+        });
+        Some(gate(report)?)
+    } else {
+        None
+    };
+
     Ok(FlowOutcome {
         kind: FlowKind::Conventional,
         realization: Realization {
@@ -355,6 +386,7 @@ pub fn conventional_flow(
         wirelength_um: placed.routing.total_wirelength() as f64 / 1000.0,
         detailed,
         verify,
+        erc,
     })
 }
 
@@ -467,7 +499,7 @@ fn run_flow(
         .iter()
         .map(|(name, r)| (*r, block_current(biases.get(name))))
         .collect();
-    let supply_r = supply_resistance(tech, spec, biases, &blocks, placed.bbox);
+    let (supply_r, power) = supply_grid(tech, &blocks, placed.bbox);
 
     // ---- Algorithm 2: port constraints + reconciliation -------------------
     let mut per_net: HashMap<String, Vec<PortConstraint>> = HashMap::new();
@@ -523,6 +555,30 @@ fn run_flow(
             }
         }
     }
+    // EM clamp: raise every net's width interval to the EM-safe floor for
+    // its worst-case current *before* reconciliation, so the widths
+    // Algorithm 2 hands the detailed router pass the electrical gate by
+    // construction. Currents only exist when port optimization runs — the
+    // ablated flow chooses no widths, so there is nothing to keep safe.
+    let currents = if options.port_optimization {
+        electrical::net_currents(tech, lib, spec, biases, &placed.pins)
+    } else {
+        Vec::new()
+    };
+    let mut floors: HashMap<String, u32> = HashMap::new();
+    for nc in &currents {
+        if let Some(route) = routing.net(&nc.net) {
+            floors.insert(
+                nc.net.clone(),
+                prima_erc::em::em_floor(tech, route, nc.worst_a),
+            );
+        }
+    }
+    for (net, constraints) in &mut per_net {
+        if let Some(&floor) = floors.get(net) {
+            clamp_to_em_floor(constraints, floor);
+        }
+    }
     let mut net_wires = HashMap::new();
     let mut widths: HashMap<String, u32> = HashMap::new();
     for (net, constraints) in &per_net {
@@ -536,11 +592,14 @@ fn run_flow(
             net_wires.insert(net.clone(), route_wire(tech, gr, w));
         }
     }
-    // Routed nets no primitive constrained still get single wires.
+    // Routed nets no primitive constrained still get the EM-safe width
+    // (single wires when the net carries no known current).
     for (net, gr) in &net_routes {
-        net_wires
-            .entry(net.clone())
-            .or_insert_with(|| route_wire(tech, gr, 1));
+        if !widths.contains_key(net) {
+            let k = floors.get(net).copied().unwrap_or(1);
+            widths.insert(net.clone(), k);
+            net_wires.insert(net.clone(), route_wire(tech, gr, k));
+        }
     }
 
     let mut sims = HashMap::new();
@@ -616,6 +675,30 @@ fn run_flow(
         None
     };
 
+    // Electrical gate: EM over the routed topology at the reconciled
+    // widths (clean by construction thanks to the clamp above), static IR
+    // on the synthesized grid, symmetry/matching lints, and connectivity
+    // hygiene.
+    let erc = if options.verify.enabled() {
+        let report = electrical::erc_report(&ErcBuild {
+            tech,
+            lib,
+            spec,
+            biases: Some(biases),
+            routing: Some(routing),
+            widths: &widths,
+            pins: &placed.pins,
+            rects: &placed.rects,
+            layouts: &placed.chosen,
+            power: power.as_ref(),
+            with_currents: options.port_optimization,
+            with_symmetry: true,
+        });
+        Some(gate(report)?)
+    } else {
+        None
+    };
+
     Ok(FlowOutcome {
         kind,
         realization: Realization {
@@ -629,6 +712,7 @@ fn run_flow(
         wirelength_um: placed.routing.total_wirelength() as f64 / 1000.0,
         detailed,
         verify,
+        erc,
     })
 }
 

@@ -21,6 +21,7 @@
 
 pub mod builder;
 pub mod circuits;
+mod electrical;
 pub mod flows;
 
 use std::fmt;

@@ -377,6 +377,31 @@ impl DesignRules {
     }
 }
 
+/// Electrical sign-off limits — the data the ERC pass checks against.
+///
+/// Everything is stored as plain numbers on the [`Technology`] so a node
+/// swap changes the limits without touching any checker code. Wire EM
+/// limits follow the usual mA-per-µm-of-width form (so wider layers carry
+/// proportionally more); via limits are per cut.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ElectricalRules {
+    /// Electromigration limit of drawn wire, mA of DC current per µm of
+    /// wire width. A minimum-width wire on layer `l` may carry
+    /// `em_ma_per_um × min_width(l)` mA.
+    pub em_ma_per_um: f64,
+    /// Electromigration limit per via cut (mA), one entry per via level:
+    /// `em_ma_per_cut[0]` = V1 (M1→M2).
+    pub em_ma_per_cut: Vec<f64>,
+    /// Static IR-drop budget on supply nets, as a fraction of `vdd`.
+    pub ir_frac_vdd: f64,
+    /// Maximum allowed distance (nm) from any cell edge to the nearest
+    /// well-tap / substrate-strap row.
+    pub max_tap_distance_nm: Nm,
+    /// Geometric tolerance (nm) when checking declared symmetry in the
+    /// placement (mirror offsets, row alignment, centroid coincidence).
+    pub sym_tolerance_nm: Nm,
+}
+
 /// The full technology description.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Technology {
@@ -406,6 +431,8 @@ pub struct Technology {
     pub pmos: FetModel,
     /// Static design-rule deck derived from the same geometry numbers.
     pub rules: DesignRules,
+    /// Electrical sign-off limits (EM, IR, symmetry, well taps).
+    pub electrical: ElectricalRules,
 }
 
 impl Technology {
@@ -494,6 +521,13 @@ impl Technology {
             fin,
             metals,
             rules,
+            electrical: ElectricalRules {
+                em_ma_per_um: 8.0,
+                em_ma_per_cut: vec![0.25, 0.30, 0.35, 0.45, 0.60],
+                ir_frac_vdd: 0.05,
+                max_tap_distance_nm: 5_000,
+                sym_tolerance_nm: 40,
+            },
             via_r: vec![22.0, 18.0, 14.0, 10.0, 7.0],
             via_c: 0.02e-15,
             lde_n,
@@ -624,6 +658,13 @@ impl Technology {
             fin,
             metals,
             rules,
+            electrical: ElectricalRules {
+                em_ma_per_um: 5.0,
+                em_ma_per_cut: vec![0.30, 0.35, 0.40, 0.50, 0.70],
+                ir_frac_vdd: 0.05,
+                max_tap_distance_nm: 8_000,
+                sym_tolerance_nm: 80,
+            },
             via_r: vec![12.0, 10.0, 8.0, 6.0, 4.0],
             via_c: 0.03e-15,
             lde_n,
@@ -694,6 +735,58 @@ impl Technology {
         };
         assert!(lo >= 1 && hi <= self.metals.len(), "layer out of range");
         self.via_r[(lo - 1)..(hi - 1)].iter().sum()
+    }
+
+    /// Electromigration limit (A) of one minimum-width wire on a 1-based
+    /// metal layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layer does not exist in this node.
+    pub fn em_wire_limit_a(&self, layer: usize) -> f64 {
+        let m = self.metal(layer);
+        self.electrical.em_ma_per_um * (m.min_width as f64 / 1000.0) * 1e-3
+    }
+
+    /// Electromigration limit (A) of one via cut at a 1-based via level
+    /// (`em_via_limit_a(1)` = V1, the M1→M2 transition).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the via level does not exist in this node.
+    pub fn em_via_limit_a(&self, level: usize) -> f64 {
+        assert!(
+            (1..=self.electrical.em_ma_per_cut.len()).contains(&level),
+            "via level V{level} not in stack"
+        );
+        self.electrical.em_ma_per_cut[level - 1] * 1e-3
+    }
+
+    /// Number of parallel minimum-width routes needed to carry `amps` of
+    /// worst-case DC current on a 1-based metal layer without violating
+    /// any EM limit — the wire limit of the layer itself and every via
+    /// level of the M1-to-`layer` access stack (each parallel route adds
+    /// one cut per level, so cut count scales with the route count).
+    ///
+    /// Always at least 1; monotone non-decreasing in `amps`.
+    pub fn em_required_routes(&self, layer: usize, amps: f64) -> u32 {
+        let amps = amps.abs();
+        let per_route = |limit: f64| -> u32 {
+            if limit <= 0.0 {
+                return 1;
+            }
+            (amps / limit).ceil().max(1.0) as u32
+        };
+        let mut need = per_route(self.em_wire_limit_a(layer));
+        for level in 1..layer {
+            need = need.max(per_route(self.em_via_limit_a(level)));
+        }
+        need
+    }
+
+    /// Static IR-drop budget (V) on supply nets for this node.
+    pub fn ir_budget_v(&self) -> f64 {
+        self.electrical.ir_frac_vdd * self.vdd
     }
 
     /// LDE parameters for a polarity.
@@ -894,5 +987,33 @@ mod tests {
         // Deserialize (the workspace keeps serde formats out of its deps).
         fn assert_serde<T: serde::Serialize + for<'de> serde::Deserialize<'de>>() {}
         assert_serde::<Technology>();
+    }
+
+    #[test]
+    fn em_limits_follow_the_stored_data() {
+        let tech = Technology::finfet7();
+        // A minimum-width M3 wire: 24 nm × 8 mA/µm = 0.192 mA.
+        let limit = tech.em_wire_limit_a(3);
+        assert!((limit - 0.192e-3).abs() < 1e-9, "{limit}");
+        // Wider layers carry more per wire.
+        assert!(tech.em_wire_limit_a(4) > limit);
+        // Below the limit one route suffices; above it the count climbs.
+        assert_eq!(tech.em_required_routes(3, 0.15e-3), 1);
+        assert_eq!(tech.em_required_routes(3, 0.30e-3), 2);
+        assert_eq!(tech.em_required_routes(3, 0.70e-3), 4);
+        // The budget is a fraction of vdd.
+        assert!((tech.ir_budget_v() - 0.05 * tech.vdd).abs() < 1e-12);
+    }
+
+    #[test]
+    fn em_required_routes_counts_via_cuts_too() {
+        let mut tech = Technology::finfet7();
+        // Make the V1 cut the binding limit: a route on M3 needs cuts at
+        // V1 and V2, so a tiny V1 allowance forces extra parallel routes
+        // even though the wire itself could carry the current.
+        tech.electrical.em_ma_per_cut[0] = 0.05;
+        assert_eq!(tech.em_required_routes(3, 0.15e-3), 3);
+        // M1 itself has no via stack below it — only the wire limit binds.
+        assert_eq!(tech.em_required_routes(1, 0.1e-3), 1);
     }
 }

@@ -157,6 +157,16 @@ pub struct RoutingResult {
 }
 
 impl RoutingResult {
+    /// Assembles a result from pre-built routes — for fixtures and for
+    /// tools that import routed geometry rather than running the router.
+    pub fn from_routes(routes: Vec<NetRoute>) -> Self {
+        RoutingResult {
+            routes,
+            cell_size_nm: 500,
+            congestion: HashMap::new(),
+        }
+    }
+
     /// Route of a net by name.
     pub fn net(&self, name: &str) -> Option<&NetRoute> {
         self.routes.iter().find(|r| r.net == name)

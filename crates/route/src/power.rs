@@ -44,6 +44,13 @@ pub struct PowerReport {
     /// Effective series resistance seen by the whole circuit (Ω):
     /// worst drop divided by total current.
     pub effective_r_ohm: f64,
+    /// Y coordinate of every strap row (chip coordinates, nm). Strap rows
+    /// carry the supply and the well/substrate taps, so they double as the
+    /// tap rows the ERC well-tap-distance check measures against.
+    pub strap_rows: Vec<Nm>,
+    /// Static IR drop (V) per input block, in `blocks` order — the
+    /// per-instance numbers behind `worst_drop_v`.
+    pub block_drops: Vec<f64>,
 }
 
 /// Synthesizes the grid and estimates IR drop.
@@ -70,8 +77,13 @@ pub fn synthesize(
     let strap_count = (height / spec.strap_pitch).max(1) as usize + 1;
     let strap_length_nm = width * strap_count as Nm;
 
+    let strap_rows: Vec<Nm> = (0..strap_count)
+        .map(|i| placement_bbox.lo.y + i as Nm * spec.strap_pitch)
+        .collect();
+
     let total_current: f64 = blocks.iter().map(|(_, i)| i).sum();
     let mut worst_drop: f64 = 0.0;
+    let mut block_drops = Vec::with_capacity(blocks.len());
     for (rect, current) in blocks {
         // Distance from the left-edge pad to the block's center along the
         // strap; blocks straddling strap rows split their current over the
@@ -83,6 +95,7 @@ pub fn synthesize(
         // trunk: approximate with half the total current over half the
         // feed (uniform draw along the strap).
         let drop = current * r_feed + 0.5 * (total_current - current) * r_feed * 0.5;
+        block_drops.push(drop);
         worst_drop = worst_drop.max(drop);
     }
     let effective_r = if total_current > 0.0 {
@@ -95,6 +108,8 @@ pub fn synthesize(
         strap_length_nm,
         worst_drop_v: worst_drop,
         effective_r_ohm: effective_r.max(0.05),
+        strap_rows,
+        block_drops,
     }
 }
 
@@ -118,6 +133,8 @@ mod tests {
         assert_eq!(r.strap_count, 4); // 9000/3000 + 1
         assert_eq!(r.strap_length_nm, 48_000);
         assert_eq!(r.worst_drop_v, 0.0);
+        assert_eq!(r.strap_rows, vec![0, 3000, 6000, 9000]);
+        assert!(r.block_drops.is_empty());
     }
 
     #[test]

@@ -18,7 +18,7 @@ use prima_route::detail::DetailedResult;
 use prima_route::RoutingResult;
 
 use crate::drc::{touches, UnionFind};
-use crate::{RuleKind, Violation};
+use crate::{RuleKind, Severity, Violation};
 
 /// Diffs drawn connectivity against the expected nets. `routing` drives
 /// the open/missing analysis (global segments pass through the exact pin
@@ -66,6 +66,7 @@ fn check_opens(
         if segments.is_empty() {
             if net_pins.len() >= 2 {
                 out.push(Violation {
+                    severity: Severity::Error,
                     rule_id: "LVS.MISSING".to_string(),
                     kind: RuleKind::Missing,
                     layer: None,
@@ -99,6 +100,7 @@ fn check_opens(
                 .map(|i| uf.find(i));
             if hit.is_none() {
                 out.push(Violation {
+                    severity: Severity::Error,
                     rule_id: "LVS.OPEN".to_string(),
                     kind: RuleKind::Open,
                     layer: None,
@@ -123,6 +125,7 @@ fn check_opens(
         };
         if components.len() > 1 {
             out.push(Violation {
+                severity: Severity::Error,
                 rule_id: "LVS.OPEN".to_string(),
                 kind: RuleKind::Open,
                 layer: None,
@@ -174,6 +177,7 @@ fn check_shorts(tech: &Technology, detailed: &DetailedResult) -> Vec<Violation> 
                     ),
                 };
                 out.push(Violation {
+                    severity: Severity::Error,
                     rule_id: "LVS.SHORT".to_string(),
                     kind: RuleKind::Short,
                     layer: Some(m.name.clone()),

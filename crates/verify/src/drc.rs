@@ -16,7 +16,7 @@ use prima_layout::{CellGeometry, MaskLayer};
 use prima_pdk::{DesignRules, LayerRule, Nm, RouteDir, Technology};
 use prima_route::detail::DetailedResult;
 
-use crate::{RuleKind, Violation};
+use crate::{RuleKind, Severity, Violation};
 
 /// Plain union-find over shape indices.
 pub(crate) struct UnionFind {
@@ -116,6 +116,7 @@ pub fn check_layer(
             let short_side = s.rect.width().min(s.rect.height());
             if short_side < rule.min_width {
                 out.push(Violation {
+                    severity: Severity::Error,
                     rule_id: format!("{layer}.WIDTH"),
                     kind: RuleKind::Width,
                     layer: Some(layer.to_string()),
@@ -160,6 +161,7 @@ pub fn check_layer(
                     // Only reachable across nets: same-net (and unlabeled)
                     // overlaps were merged above.
                     out.push(Violation {
+                        severity: Severity::Error,
                         rule_id: format!("{layer}.SHORT"),
                         kind: RuleKind::Short,
                         layer: Some(layer.to_string()),
@@ -188,6 +190,7 @@ pub fn check_layer(
                         dx.max(dy)
                     };
                     out.push(Violation {
+                        severity: Severity::Error,
                         rule_id: format!("{layer}.SPACE"),
                         kind: RuleKind::Spacing,
                         layer: Some(layer.to_string()),
@@ -219,6 +222,7 @@ pub fn check_layer(
             }
             if areas[i] < rule.min_area_nm2 as i128 {
                 out.push(Violation {
+                    severity: Severity::Error,
                     rule_id: format!("{layer}.AREA"),
                     kind: RuleKind::Area,
                     layer: Some(layer.to_string()),
@@ -287,6 +291,7 @@ pub fn check_cell(rules: &DesignRules, geometry: &CellGeometry, instance: &str) 
             for s in &shapes {
                 if (s.rect.lo.x - grid.offset).rem_euclid(grid.pitch) != 0 {
                     out.push(Violation {
+                        severity: Severity::Error,
                         rule_id: format!("{name}.GRID"),
                         kind: RuleKind::Grid,
                         layer: Some(name.to_string()),
@@ -310,6 +315,7 @@ pub fn check_cell(rules: &DesignRules, geometry: &CellGeometry, instance: &str) 
             let coords = [r.lo.x, r.lo.y, r.hi.x, r.hi.y];
             if coords.iter().any(|c| c.rem_euclid(rules.grid_nm) != 0) {
                 out.push(Violation {
+                    severity: Severity::Error,
                     rule_id: "MFG.GRID".to_string(),
                     kind: RuleKind::Grid,
                     layer: Some(format!("{l:?}")),
@@ -338,6 +344,7 @@ pub fn check_placement(outlines: &[(String, Rect)]) -> Vec<Violation> {
             }
             if outlines[i].1.overlaps(&outlines[j].1) {
                 out.push(Violation {
+                    severity: Severity::Error,
                     rule_id: "PLACE.OVERLAP".to_string(),
                     kind: RuleKind::Placement,
                     layer: None,
@@ -486,6 +493,7 @@ pub fn check_vias(tech: &Technology, wires: &[Wire]) -> Vec<Violation> {
             let found = overlap.width().min(overlap.height());
             if found < need {
                 out.push(Violation {
+                    severity: Severity::Error,
                     rule_id: format!("V{lower}.ENC"),
                     kind: RuleKind::Enclosure,
                     layer: Some(format!("V{lower}")),

@@ -19,174 +19,29 @@
 //! Everything reports structured [`Violation`]s — rule id, layer,
 //! offending rectangles, measured vs. required values — never a bare
 //! boolean, so callers can print actionable diagnostics or count by rule.
+//! The diagnostic types themselves live in [`prima_core::diagnostics`] and
+//! are shared with the electrical gate (`prima-erc`); this crate re-exports
+//! them so existing callers keep working.
 //!
 //! The crate deliberately depends only on the geometry-producing layers
-//! (`geom`, `pdk`, `layout`, `route`); `prima-flow` assembles a
-//! [`FlowArtifacts`] and calls [`check_flow`] as its gate.
+//! (`geom`, `pdk`, `layout`, `route`) plus the shared diagnostics module;
+//! `prima-flow` assembles a [`FlowArtifacts`] and calls [`check_flow`] as
+//! its gate.
 
 #![forbid(unsafe_code)]
 #![cfg_attr(test, allow(clippy::unwrap_used))]
-
-use std::fmt;
 
 use prima_geom::{Point, Rect};
 use prima_layout::CellGeometry;
 use prima_pdk::Technology;
 use prima_route::detail::DetailedResult;
 use prima_route::RoutingResult;
-use serde::{Deserialize, Serialize};
 
 pub mod connectivity;
 pub mod drc;
 pub mod lints;
 
-/// What kind of check produced a violation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub enum RuleKind {
-    /// Shape narrower than the layer's minimum width.
-    Width,
-    /// Same-layer clearance below minimum spacing.
-    Spacing,
-    /// Connected component below minimum area.
-    Area,
-    /// Shape off its placement grid.
-    Grid,
-    /// Via cut insufficiently enclosed by metal.
-    Enclosure,
-    /// Geometric overlap of shapes on different nets.
-    Short,
-    /// Overlapping placed cell outlines.
-    Placement,
-    /// Net electrically broken (or a pin left unreached).
-    Open,
-    /// Expected net with no drawn wiring at all.
-    Missing,
-    /// Flow-level consistency lint (weights, bins, port intervals).
-    Lint,
-}
-
-impl fmt::Display for RuleKind {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
-            RuleKind::Width => "width",
-            RuleKind::Spacing => "spacing",
-            RuleKind::Area => "area",
-            RuleKind::Grid => "grid",
-            RuleKind::Enclosure => "enclosure",
-            RuleKind::Short => "short",
-            RuleKind::Placement => "placement",
-            RuleKind::Open => "open",
-            RuleKind::Missing => "missing",
-            RuleKind::Lint => "lint",
-        };
-        f.write_str(s)
-    }
-}
-
-/// One structured diagnostic: which rule failed, where, and by how much.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct Violation {
-    /// Stable rule identifier, e.g. `"M2.SPACE"`, `"poly.GRID"`,
-    /// `"V1.ENC"`, `"LVS.OPEN"`, `"LINT.WEIGHTS"`.
-    pub rule_id: String,
-    /// What kind of check fired.
-    pub kind: RuleKind,
-    /// Drawn layer involved, when the rule is geometric.
-    pub layer: Option<String>,
-    /// Cell instance or net the violation belongs to, when known.
-    pub scope: Option<String>,
-    /// Offending rectangles (cell-local for cell DRC, chip coordinates
-    /// for placement/routing checks).
-    pub rects: Vec<Rect>,
-    /// Measured value (nm, nm² for area), when the rule is quantitative.
-    pub found: Option<i64>,
-    /// Required value the measurement failed against.
-    pub required: Option<i64>,
-    /// Human-readable one-line explanation.
-    pub message: String,
-}
-
-impl fmt::Display for Violation {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}: {}", self.rule_id, self.message)?;
-        if let (Some(found), Some(required)) = (self.found, self.required) {
-            write!(f, " (found {found}, required {required})")?;
-        }
-        Ok(())
-    }
-}
-
-/// Aggregated result of a verification pass.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
-pub struct VerifyReport {
-    /// Circuit (or cell) the pass ran on.
-    pub circuit: String,
-    /// Names of the checks that actually ran, in order.
-    pub checks_run: Vec<String>,
-    /// All violations found, in discovery order.
-    pub violations: Vec<Violation>,
-    /// Number of nets examined by the connectivity pass.
-    pub nets_checked: usize,
-    /// Number of rectangles examined by the DRC pass.
-    pub rects_checked: usize,
-}
-
-impl VerifyReport {
-    /// `true` when no check fired.
-    pub fn is_clean(&self) -> bool {
-        self.violations.is_empty()
-    }
-
-    /// Number of violations of one kind.
-    pub fn count(&self, kind: RuleKind) -> usize {
-        self.violations.iter().filter(|v| v.kind == kind).count()
-    }
-
-    /// `true` if some violation carries the given rule id.
-    pub fn has_rule(&self, rule_id: &str) -> bool {
-        self.violations.iter().any(|v| v.rule_id == rule_id)
-    }
-
-    /// One-line summary suitable for a bench report.
-    pub fn summary(&self) -> String {
-        if self.is_clean() {
-            format!(
-                "{}: clean ({} rects, {} nets, {} checks)",
-                self.circuit,
-                self.rects_checked,
-                self.nets_checked,
-                self.checks_run.len()
-            )
-        } else {
-            format!(
-                "{}: {} violation(s) — drc {} / lvs {} / lint {}",
-                self.circuit,
-                self.violations.len(),
-                self.violations
-                    .iter()
-                    .filter(|v| {
-                        !matches!(
-                            v.kind,
-                            RuleKind::Open | RuleKind::Missing | RuleKind::Short | RuleKind::Lint
-                        )
-                    })
-                    .count(),
-                self.violations
-                    .iter()
-                    .filter(|v| {
-                        matches!(v.kind, RuleKind::Open | RuleKind::Missing | RuleKind::Short)
-                    })
-                    .count(),
-                self.count(RuleKind::Lint),
-            )
-        }
-    }
-
-    fn absorb(&mut self, check: &str, mut violations: Vec<Violation>) {
-        self.checks_run.push(check.to_string());
-        self.violations.append(&mut violations);
-    }
-}
+pub use prima_core::diagnostics::{RuleKind, Severity, VerifyReport, Violation};
 
 /// One placed primitive cell with (optionally) its rendered mask geometry.
 #[derive(Debug, Clone)]

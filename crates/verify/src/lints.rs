@@ -16,7 +16,7 @@
 
 use std::collections::HashMap;
 
-use crate::{RuleKind, Violation};
+use crate::{RuleKind, Severity, Violation};
 
 /// One port-width constraint with its reconciliation outcome.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -48,6 +48,7 @@ fn lint(rule_id: &str, scope: Option<String>, message: String) -> Violation {
     Violation {
         rule_id: rule_id.to_string(),
         kind: RuleKind::Lint,
+        severity: Severity::Error,
         layer: None,
         scope,
         rects: Vec::new(),
