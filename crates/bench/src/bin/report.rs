@@ -6,7 +6,7 @@
 //!   cargo run --release -p prima-bench --bin report -- fast    # skip slow rows
 //!
 //! Exhibits: fig2 (≡ table1), table2, fig3, fig5, table3, table4, fig6,
-//! table5, table6, table7, table8, ablations, verify, erc.
+//! table5, table6, table7, table8, ablations, verify, erc, resilience.
 
 use prima_bench::*;
 
@@ -25,6 +25,7 @@ const EXHIBITS: &[&str] = &[
     "ablations",
     "verify",
     "erc",
+    "resilience",
 ];
 
 fn main() {
@@ -92,5 +93,8 @@ fn main() {
     }
     if run("erc") {
         println!("{}", erc_summary(&env));
+    }
+    if run("resilience") {
+        println!("{}", resilience_summary(&env));
     }
 }

@@ -13,8 +13,8 @@ use std::fmt;
 use prima_geom::Rect;
 use serde::{Deserialize, Serialize};
 
-/// How bad a finding is. Gates fail on [`Severity::Error`]; warnings are
-/// surfaced but do not abort a flow.
+/// How bad a finding is. Gates fail on [`Severity::Error`]; warnings and
+/// degradations are surfaced but do not abort a flow.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Severity {
     /// Must be fixed; the gate fails.
@@ -22,6 +22,11 @@ pub enum Severity {
     Error,
     /// Suspicious but not fatal; reported without failing the gate.
     Warning,
+    /// The check itself ran in a degraded (conservative) mode — e.g. a
+    /// current-propagation pass that fell back to worst-case bounds — so
+    /// the result is safe but less precise than intended. Reported without
+    /// failing the gate; resilience tooling aggregates these.
+    Degraded,
 }
 
 impl fmt::Display for Severity {
@@ -29,6 +34,7 @@ impl fmt::Display for Severity {
         f.write_str(match self {
             Severity::Error => "error",
             Severity::Warning => "warning",
+            Severity::Degraded => "degraded",
         })
     }
 }
@@ -176,6 +182,22 @@ impl VerifyReport {
         self.violations
             .iter()
             .filter(|v| v.severity == Severity::Error)
+            .count()
+    }
+
+    /// `true` when no [`Severity::Error`] finding fired — degraded-mode
+    /// and warning diagnostics may still be present. This is the predicate
+    /// flow gates fail on.
+    pub fn is_passing(&self) -> bool {
+        self.error_count() == 0
+    }
+
+    /// Number of [`Severity::Degraded`] findings (checks that ran in a
+    /// conservative fallback mode).
+    pub fn degraded_count(&self) -> usize {
+        self.violations
+            .iter()
+            .filter(|v| v.severity == Severity::Degraded)
             .count()
     }
 

@@ -42,6 +42,7 @@ pub mod accounting;
 pub mod cost;
 pub mod diagnostics;
 pub mod ports;
+pub mod resilience;
 pub mod selection;
 pub mod tuning;
 
@@ -57,7 +58,11 @@ pub use diagnostics::{RuleKind, Severity, VerifyReport, Violation};
 pub use ports::{
     clamp_to_em_floor, reconcile, route_wire, GlobalRoute, PortConstraint, ReconciledNet,
 };
-pub use selection::{enumerate_configs, Evaluated};
+pub use resilience::{
+    Degradation, EvalFault, EvalLedger, FaultInjector, FaultPlan, Health, LedgerEntry, NoFaults,
+    RepairBudgets, RepairCursor, ResilienceReport,
+};
+pub use selection::{enumerate_configs, BinRanked, Evaluated};
 
 /// Errors from the optimization flow.
 #[derive(Debug, Clone, PartialEq)]

@@ -3,10 +3,12 @@
 //! bin by aspect ratio, and keep the minimum-cost layout per bin.
 
 use prima_layout::{generate, CellConfig, PlacementPattern, PrimitiveLayout};
-use prima_primitives::{evaluate_all, Bias, LayoutView, MetricValues, PrimitiveDef};
+use prima_primitives::{evaluate_all, Bias, EvalError, LayoutView, MetricValues, PrimitiveDef};
+use prima_spice::analysis::AnalysisError;
 
 use crate::accounting::Phase;
 use crate::cost::{cost_of, CostBreakdown};
+use crate::resilience::{EvalFault, EvalLedger, FaultInjector};
 use crate::{OptError, Optimizer};
 
 /// A fully evaluated layout candidate.
@@ -178,6 +180,161 @@ impl<'t> Optimizer<'t> {
         }
         Ok(picks)
     }
+
+    /// Fault-aware variant of [`Optimizer::select`] that keeps the **whole
+    /// ranked bin** instead of only its winner, so the flow's repair loop
+    /// can fall back to the next-best candidate of the same aspect-ratio
+    /// bin when a winner later fails a sign-off gate.
+    ///
+    /// Candidate evaluations run on worker threads exactly as in `select`;
+    /// a panicking evaluation is isolated at its join point and a failing
+    /// one returns a typed error — both are recorded in `ledger` and the
+    /// candidate is dropped, never aborting the run. `injector` may force
+    /// either failure mode deterministically (see
+    /// [`crate::resilience::FaultPlan`]).
+    ///
+    /// With [`crate::resilience::NoFaults`] and no organic failures, every
+    /// bin's rank-0 entry is exactly the candidate `select` returns for
+    /// that bin (same ordering, same tie-breaking), so a zero-fault run is
+    /// bit-identical to the classic path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptError::NoCandidates`] for an empty config list or when
+    /// every candidate evaluation failed.
+    pub fn select_bins(
+        &self,
+        def: &PrimitiveDef,
+        bias: &Bias,
+        configs: &[CellConfig],
+        n_bins: usize,
+        injector: &dyn FaultInjector,
+        ledger: &mut EvalLedger,
+    ) -> Result<Vec<BinRanked>, OptError> {
+        if configs.is_empty() || n_bins == 0 {
+            return Err(OptError::NoCandidates {
+                stage: "selection: empty configuration list".to_string(),
+            });
+        }
+        let sch = self.schematic_reference(def, bias, configs[0].total_fins())?;
+
+        // Evaluate candidates in parallel; a child panic is captured at the
+        // join and folded into the per-candidate result instead of
+        // propagating.
+        let results: Vec<Result<Evaluated, String>> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = configs
+                .iter()
+                .enumerate()
+                .map(|(idx, cfg)| {
+                    let sch = &sch;
+                    scope.spawn(move |_| -> Result<Evaluated, OptError> {
+                        match injector.eval_fault(&def.name, idx) {
+                            Some(EvalFault::Panic) => {
+                                panic!("injected panic: {} candidate {idx}", def.name)
+                            }
+                            Some(EvalFault::NonConvergence) => {
+                                return Err(OptError::Eval(EvalError::Analysis(
+                                    AnalysisError::NoConvergence {
+                                        phase: format!(
+                                            "injected fault: {} candidate {idx}",
+                                            def.name
+                                        ),
+                                        iterations: 0,
+                                    },
+                                )));
+                            }
+                            None => {}
+                        }
+                        let layout = generate(self.tech(), &def.spec, cfg)?;
+                        self.evaluate_layout(def, bias, layout, sch, Phase::Selection)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(Ok(ev)) => Ok(ev),
+                    Ok(Err(e)) => Err(e.to_string()),
+                    Err(payload) => {
+                        let msg = payload
+                            .downcast_ref::<&str>()
+                            .map(|s| (*s).to_string())
+                            .or_else(|| payload.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "candidate evaluation panicked".to_string());
+                        Err(format!("panic: {msg}"))
+                    }
+                })
+                .collect()
+        })
+        .expect("evaluation scope panicked");
+
+        let mut evaluated: Vec<(usize, Evaluated)> = Vec::with_capacity(results.len());
+        for (idx, result) in results.into_iter().enumerate() {
+            match result {
+                Ok(ev) => evaluated.push((idx, ev)),
+                Err(reason) => {
+                    let panicked = reason.starts_with("panic:");
+                    ledger.record(&def.name, idx, panicked, reason);
+                }
+            }
+        }
+        if evaluated.is_empty() {
+            return Err(OptError::NoCandidates {
+                stage: format!(
+                    "selection: all {} candidate evaluations of {} failed",
+                    configs.len(),
+                    def.name
+                ),
+            });
+        }
+
+        // Identical ordering and binning to `select` over the survivors:
+        // stable sort by aspect ratio, quantile chunks, then a stable sort
+        // by cost inside each bin so rank 0 matches `min_by`'s
+        // first-minimal tie-breaking exactly.
+        evaluated.sort_by(|a, b| {
+            a.1.layout
+                .aspect_ratio()
+                .partial_cmp(&b.1.layout.aspect_ratio())
+                .expect("aspect ratios are finite")
+        });
+        let n_bins = n_bins.min(evaluated.len());
+        let chunk = evaluated.len().div_ceil(n_bins);
+        let mut bins: Vec<BinRanked> = Vec::with_capacity(n_bins);
+        for bin in evaluated.chunks(chunk) {
+            let mut ranked: Vec<(usize, Evaluated)> = bin.to_vec();
+            ranked.sort_by(|a, b| a.1.cost.partial_cmp(&b.1.cost).expect("finite costs"));
+            bins.push(BinRanked {
+                candidates: ranked.iter().map(|(idx, _)| *idx).collect(),
+                ranked: ranked.into_iter().map(|(_, ev)| ev).collect(),
+            });
+        }
+        Ok(bins)
+    }
+}
+
+/// One aspect-ratio bin with every surviving candidate ranked best-first
+/// (by Eq. 5 cost). `ranked[0]` is the bin winner `select` would return;
+/// the remainder is the fallback order the repair loop walks.
+#[derive(Debug, Clone)]
+pub struct BinRanked {
+    /// Original candidate indices (into the enumerated config list),
+    /// parallel to `ranked`. These are the ids the [`EvalLedger`] tracks.
+    pub candidates: Vec<usize>,
+    /// Evaluated survivors, best (lowest-cost) first.
+    pub ranked: Vec<Evaluated>,
+}
+
+impl BinRanked {
+    /// `(def-relative candidate id, evaluated)` pairs in rank order for a
+    /// given primitive name — the shape [`crate::resilience::RepairCursor`]
+    /// consumes.
+    pub fn id_pairs(&self, def: &str) -> Vec<(String, usize)> {
+        self.candidates
+            .iter()
+            .map(|&c| (def.to_string(), c))
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -238,6 +395,81 @@ mod tests {
         }
         let sims = opt.counter().count(crate::Phase::Selection);
         assert_eq!(sims, (configs.len() + 1) * dp.metrics.len());
+    }
+
+    #[test]
+    fn select_bins_matches_select_without_faults() {
+        use crate::resilience::{EvalLedger, NoFaults};
+        let tech = Technology::finfet7();
+        let lib = Library::standard();
+        let dp = lib.get("dp").unwrap();
+        let bias = Bias::nominal(&tech, &dp.class);
+        let opt = Optimizer::new(&tech);
+        let configs = enumerate_configs(96, &[4, 8], 4);
+        let picks = opt.select(dp, &bias, &configs, 3).unwrap();
+        let mut ledger = EvalLedger::new();
+        let bins = opt
+            .select_bins(dp, &bias, &configs, 3, &NoFaults, &mut ledger)
+            .unwrap();
+        assert!(ledger.is_empty());
+        assert_eq!(bins.len(), picks.len());
+        for (bin, pick) in bins.iter().zip(&picks) {
+            assert_eq!(bin.ranked.len(), bin.candidates.len());
+            // Bit-identical winner: same config, same cost, same values.
+            assert_eq!(bin.ranked[0].layout.config, pick.layout.config);
+            assert_eq!(bin.ranked[0].cost.to_bits(), pick.cost.to_bits());
+            // Ranked best-first.
+            for w in bin.ranked.windows(2) {
+                assert!(w[0].cost <= w[1].cost);
+            }
+        }
+    }
+
+    #[test]
+    fn select_bins_survives_injected_faults() {
+        use crate::resilience::{EvalLedger, FaultPlan};
+        let tech = Technology::finfet7();
+        let lib = Library::standard();
+        let dp = lib.get("dp").unwrap();
+        let bias = Bias::nominal(&tech, &dp.class);
+        let opt = Optimizer::new(&tech);
+        let configs = enumerate_configs(96, &[4, 8], 4);
+        let plan = FaultPlan::new(5)
+            .with_eval_fail_rate(0.3)
+            .with_eval_panic("dp", 0);
+        let mut ledger = EvalLedger::new();
+        let bins = opt
+            .select_bins(dp, &bias, &configs, 3, &plan, &mut ledger)
+            .unwrap();
+        assert!(!ledger.is_empty(), "expected some candidates to fail");
+        assert!(ledger.is_failed("dp", 0));
+        assert!(ledger.panics() >= 1);
+        let survivors: usize = bins.iter().map(|b| b.ranked.len()).sum();
+        assert_eq!(survivors + ledger.len(), configs.len());
+        // No ledger-failed candidate survived into any bin.
+        for bin in &bins {
+            for &c in &bin.candidates {
+                assert!(!ledger.is_failed("dp", c));
+            }
+        }
+    }
+
+    #[test]
+    fn select_bins_errors_when_everything_fails() {
+        use crate::resilience::{EvalLedger, FaultPlan};
+        let tech = Technology::finfet7();
+        let lib = Library::standard();
+        let dp = lib.get("dp").unwrap();
+        let bias = Bias::nominal(&tech, &dp.class);
+        let opt = Optimizer::new(&tech);
+        let configs = enumerate_configs(96, &[4, 8], 4);
+        let plan = FaultPlan::new(5).with_eval_fail_rate(1.0);
+        let mut ledger = EvalLedger::new();
+        assert!(matches!(
+            opt.select_bins(dp, &bias, &configs, 3, &plan, &mut ledger),
+            Err(OptError::NoCandidates { .. })
+        ));
+        assert_eq!(ledger.len(), configs.len());
     }
 
     #[test]

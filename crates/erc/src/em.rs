@@ -50,10 +50,26 @@ pub fn em_floor(tech: &Technology, route: &NetRoute, worst_a: f64) -> u32 {
 /// docs. When the route graph is not a tree, or no tap carries a budget,
 /// every segment conservatively gets the full `worst_a`.
 pub fn segment_currents(route: &NetRoute, taps: &[(Point, f64)], worst_a: f64) -> Vec<f64> {
+    propagate_currents(route, taps, worst_a).0
+}
+
+/// [`segment_currents`] plus the reason propagation fell back to the
+/// net-wide worst case, when it did. The checker turns a fallback on a
+/// non-empty route into a degraded-severity diagnostic instead of
+/// silently over-constraining the net.
+pub fn propagate_currents(
+    route: &NetRoute,
+    taps: &[(Point, f64)],
+    worst_a: f64,
+) -> (Vec<f64>, Option<&'static str>) {
     let segs = &route.segments;
     let fallback = vec![worst_a; segs.len()];
-    if segs.is_empty() || taps.is_empty() {
-        return fallback;
+    if segs.is_empty() {
+        // Nothing to bound; not a degradation.
+        return (fallback, None);
+    }
+    if taps.is_empty() {
+        return (fallback, Some("no tap carries a current budget"));
     }
 
     // Node table over unique segment endpoints.
@@ -75,7 +91,10 @@ pub fn segment_currents(route: &NetRoute, taps: &[(Point, f64)], worst_a: f64) -
     // A Steiner tree has exactly one fewer edge than nodes; anything else
     // (cycles, disconnected pieces) falls back to the net-wide bound.
     if edges.len() + 1 != nodes.len() {
-        return fallback;
+        return (
+            fallback,
+            Some("route graph is not a tree (cycles or disconnected pieces)"),
+        );
     }
     let mut adj: Vec<Vec<(usize, usize)>> = vec![Vec::new(); nodes.len()];
     for (i, &(a, b)) in edges.iter().enumerate() {
@@ -86,14 +105,14 @@ pub fn segment_currents(route: &NetRoute, taps: &[(Point, f64)], worst_a: f64) -
     // Attach each terminal budget to its nearest endpoint.
     let mut weight = vec![0.0f64; nodes.len()];
     for &(p, amps) in taps {
-        let nearest = (0..nodes.len())
-            .min_by_key(|&i| nodes[i].manhattan(p))
-            .expect("nonempty nodes");
+        let Some(nearest) = (0..nodes.len()).min_by_key(|&i| nodes[i].manhattan(p)) else {
+            return (fallback, Some("route graph has no nodes"));
+        };
         weight[nearest] += amps.abs();
     }
     let total: f64 = weight.iter().sum();
     if total <= 0.0 {
-        return fallback;
+        return (fallback, Some("tap budgets sum to zero"));
     }
 
     // For each edge: sum of budgets on the `from` side when the edge is
@@ -116,7 +135,7 @@ pub fn segment_currents(route: &NetRoute, taps: &[(Point, f64)], worst_a: f64) -
         }
         out.push(side.min(total - side).min(worst_a));
     }
-    out
+    (out, None)
 }
 
 fn seg_rect(from: Point, to: Point) -> Rect {
@@ -140,7 +159,24 @@ pub fn check(
             continue;
         };
         let k = net_widths.get(&nc.net).copied().unwrap_or(1).max(1);
-        let currents = segment_currents(route, &nc.taps, nc.worst_a);
+        let (currents, fell_back) = propagate_currents(route, &nc.taps, nc.worst_a);
+        if let Some(reason) = fell_back {
+            out.push(Violation {
+                rule_id: "EM.FALLBACK".to_string(),
+                kind: RuleKind::Em,
+                severity: Severity::Degraded,
+                layer: None,
+                scope: Some(nc.net.clone()),
+                rects: Vec::new(),
+                found: Some(ua(nc.worst_a)),
+                required: None,
+                message: format!(
+                    "net {}: current propagation fell back to the net-wide worst case \
+                     ({reason}); segment bounds are conservative",
+                    nc.net
+                ),
+            });
+        }
         for (seg, &amps) in route.segments.iter().zip(&currents) {
             let capacity = k as f64 * tech.em_wire_limit_a(seg.layer);
             if amps > capacity * (1.0 + REL_TOL) {
@@ -268,6 +304,35 @@ mod tests {
         let taps = vec![(Point::new(0, 0), 0.1e-3)];
         let i = segment_currents(&r, &taps, 0.3e-3);
         assert_eq!(i, vec![0.3e-3, 0.3e-3]);
+    }
+
+    #[test]
+    fn fallbacks_carry_a_reason_and_surface_as_degraded() {
+        // Disconnected graph → reasoned fallback.
+        let r = route(vec![seg(3, (0, 0), (0, 500)), seg(3, (900, 0), (900, 500))]);
+        let taps = vec![(Point::new(0, 0), 0.1e-3)];
+        let (i, reason) = propagate_currents(&r, &taps, 0.3e-3);
+        assert_eq!(i, vec![0.3e-3, 0.3e-3]);
+        assert!(reason.is_some(), "non-tree fallback must carry a reason");
+        // No taps → reasoned fallback; tree with budgets → no reason.
+        assert!(propagate_currents(&r, &[], 0.3e-3).1.is_some());
+        let tree = route(vec![seg(3, (0, 0), (0, 900))]);
+        let taps = vec![(Point::new(0, 0), 0.1e-3), (Point::new(0, 900), 0.1e-3)];
+        assert!(propagate_currents(&tree, &taps, 0.1e-3).1.is_none());
+
+        // The checker turns the fallback into a degraded (non-gating)
+        // EM.FALLBACK diagnostic.
+        let tech = Technology::finfet7();
+        let routing = RoutingResult::from_routes(vec![r.clone()]);
+        let nc = NetCurrent {
+            net: "n".into(),
+            worst_a: 0.1e-3,
+            taps,
+        };
+        let v = check(&tech, Some(&routing), &HashMap::new(), &[nc]);
+        let fb: Vec<&Violation> = v.iter().filter(|v| v.rule_id == "EM.FALLBACK").collect();
+        assert_eq!(fb.len(), 1);
+        assert_eq!(fb[0].severity, Severity::Degraded);
     }
 
     #[test]

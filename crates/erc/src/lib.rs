@@ -31,7 +31,7 @@
 //! from a real run and tests can seed single-defect fixtures directly.
 
 #![forbid(unsafe_code)]
-#![cfg_attr(test, allow(clippy::unwrap_used))]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 use std::collections::HashMap;
 

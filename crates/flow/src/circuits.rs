@@ -12,8 +12,9 @@
 //!   for any [`Realization`] (schematic, conventional, optimized, manual).
 
 use prima_pdk::Technology;
-use prima_primitives::Library;
-use prima_spice::netlist::Circuit;
+use prima_primitives::{Library, PrimitiveDef};
+use prima_spice::analysis::dc::OperatingPoint;
+use prima_spice::netlist::{Circuit, NodeId};
 use serde::{Deserialize, Serialize};
 
 use crate::builder::{build_circuit, PrimitiveInst, Realization, VDD_EXT};
@@ -81,9 +82,33 @@ pub(crate) fn powered_circuit(
     realization: &Realization,
 ) -> Result<Circuit, FlowError> {
     let mut c = build_circuit(tech, lib, &spec.instances, realization)?;
-    let vdd_ext = c.find_node(VDD_EXT).expect("builder creates the rail");
+    let vdd_ext = node(&c, VDD_EXT)?;
     c.vsource("VDD", vdd_ext, Circuit::GROUND, tech.vdd);
     Ok(c)
+}
+
+/// Looks up a node the builder just created; absence is an assembly bug
+/// surfaced as a typed error rather than a panic.
+pub(crate) fn node(c: &Circuit, name: &str) -> Result<NodeId, FlowError> {
+    c.find_node(name).ok_or_else(|| FlowError::Measurement {
+        what: format!("net {name} missing from the assembled circuit"),
+    })
+}
+
+/// A primitive definition the standard library must provide.
+pub(crate) fn prim<'a>(lib: &'a Library, name: &str) -> Result<&'a PrimitiveDef, FlowError> {
+    lib.get(name).ok_or_else(|| FlowError::UnknownPrimitive {
+        name: name.to_string(),
+    })
+}
+
+/// Magnitude of the DC current drawn through the named supply source.
+pub(crate) fn supply_current(op: &OperatingPoint, source: &str) -> Result<f64, FlowError> {
+    op.branch_current(source)
+        .map(f64::abs)
+        .ok_or_else(|| FlowError::Measurement {
+            what: format!("supply source {source} has no solved branch current"),
+        })
 }
 
 /// Bisects a monotone function of one bias voltage to hit `target` on a

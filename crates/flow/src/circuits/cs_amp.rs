@@ -14,7 +14,7 @@ use prima_spice::netlist::Circuit;
 use serde::{Deserialize, Serialize};
 
 use crate::builder::{PrimitiveInst, Realization};
-use crate::circuits::{bisect_bias, powered_circuit, CircuitSpec};
+use crate::circuits::{bisect_bias, node, powered_circuit, prim, supply_current, CircuitSpec};
 use crate::FlowError;
 
 /// Circuit-level metrics of the common-source amplifier (Fig. 2).
@@ -89,7 +89,7 @@ impl CsAmp {
             let mut c = powered_circuit(tech, lib, &spec, realization)?;
             attach_sources(&mut c, tech, vin, vbp, 0.0)?;
             let op = DcSolver::new().solve(&c)?;
-            Ok(op.voltage(c.find_node("vout").expect("vout exists")))
+            Ok(op.voltage(node(&c, "vout")?))
         })
     }
 
@@ -113,9 +113,9 @@ impl CsAmp {
         attach_sources(&mut c, tech, vin, vbp, 1.0)?;
 
         let op = DcSolver::new().solve(&c)?;
-        let current = op.branch_current("VDD").expect("VDD source").abs();
+        let current = supply_current(&op, "VDD")?;
 
-        let vout = c.find_node("vout").expect("vout exists");
+        let vout = node(&c, "vout")?;
         let ac = AcSolver::new().solve_at_op(
             &c,
             &op,
@@ -125,10 +125,8 @@ impl CsAmp {
                 points_per_decade: 20,
             },
         )?;
-        let gain = measure::dc_gain(&ac, vout);
-        let ugf = measure::unity_gain_freq(&ac, vout).ok_or(FlowError::Measurement {
-            what: "no unity-gain crossing".to_string(),
-        })?;
+        let gain = measure::dc_gain(&ac, vout)?;
+        let ugf = measure::unity_gain_freq(&ac, vout)?;
         Ok(CsAmpMetrics {
             gain_db: measure::db(gain),
             ugf_ghz: ugf / 1e9,
@@ -145,14 +143,14 @@ impl CsAmp {
         let mut c = powered_circuit(tech, lib, &spec, &Realization::schematic())?;
         attach_sources(&mut c, tech, vin, vbp, 0.0)?;
         let op = DcSolver::new().solve(&c)?;
-        let current = op.branch_current("VDD").expect("VDD").abs();
-        let vout = op.voltage(c.find_node("vout").expect("vout"));
+        let current = supply_current(&op, "VDD")?;
+        let vout = op.voltage(node(&c, "vout")?);
 
-        let mut m1 = Bias::nominal(tech, &lib.get("cs_amp").expect("cs_amp").class);
+        let mut m1 = Bias::nominal(tech, &prim(lib, "cs_amp")?.class);
         m1.set_v("vin", vin)
             .set_v("vout", vout)
             .set_load("out", Self::C_LOAD);
-        let mut m2 = Bias::nominal(tech, &lib.get("csrc_pmos").expect("csrc_pmos").class);
+        let mut m2 = Bias::nominal(tech, &prim(lib, "csrc_pmos")?.class);
         m2.set_v("vb", vbp)
             .set_v("vout", vout)
             .set_i("ref", current);
@@ -170,13 +168,13 @@ fn attach_sources(
     vbp: f64,
     ac_in: f64,
 ) -> Result<(), FlowError> {
-    let vin_n = c.find_node("vin").expect("vin exists");
+    let vin_n = node(c, "vin")?;
     c.vsource_ac("VIN", vin_n, Circuit::GROUND, vin, ac_in);
-    let vbp_n = c.find_node("vbp").expect("vbp exists");
+    let vbp_n = node(c, "vbp")?;
     c.vsource("VBP", vbp_n, Circuit::GROUND, vbp);
-    let vss = c.find_node("vssn").expect("vssn exists");
+    let vss = node(c, "vssn")?;
     c.vsource("VSSN", vss, Circuit::GROUND, 0.0);
-    let vout = c.find_node("vout").expect("vout exists");
+    let vout = node(c, "vout")?;
     c.capacitor("CLOAD", vout, Circuit::GROUND, CsAmp::C_LOAD)?;
     let _ = tech;
     Ok(())

@@ -14,7 +14,7 @@ use prima_spice::netlist::Circuit;
 use serde::{Deserialize, Serialize};
 
 use crate::builder::{PrimitiveInst, Realization};
-use crate::circuits::{powered_circuit, CircuitSpec};
+use crate::circuits::{node, powered_circuit, prim, supply_current, CircuitSpec};
 use crate::FlowError;
 
 /// Circuit-level metrics of the 5T OTA (Table VI rows).
@@ -110,9 +110,9 @@ impl FiveTOta {
         attach_sources(&mut c, tech, 1.0)?;
 
         let op = DcSolver::new().solve(&c)?;
-        let current = op.branch_current("VDD").expect("VDD").abs();
+        let current = supply_current(&op, "VDD")?;
 
-        let vout = c.find_node("n5").expect("n5 exists");
+        let vout = node(&c, "n5")?;
         let ac = AcSolver::new().solve_at_op(
             &c,
             &op,
@@ -122,16 +122,10 @@ impl FiveTOta {
                 points_per_decade: 24,
             },
         )?;
-        let gain = measure::dc_gain(&ac, vout);
-        let ugf = measure::unity_gain_freq(&ac, vout).ok_or(FlowError::Measurement {
-            what: "no unity-gain crossing".to_string(),
-        })?;
-        let f3 = measure::bw_3db(&ac, vout).ok_or(FlowError::Measurement {
-            what: "no 3 dB rolloff".to_string(),
-        })?;
-        let pm = measure::phase_margin_deg(&ac, vout).ok_or(FlowError::Measurement {
-            what: "no phase margin".to_string(),
-        })?;
+        let gain = measure::dc_gain(&ac, vout)?;
+        let ugf = measure::unity_gain_freq(&ac, vout)?;
+        let f3 = measure::bw_3db(&ac, vout)?;
+        let pm = measure::phase_margin_deg(&ac, vout)?;
         Ok(OtaMetrics {
             current_ua: current * 1e6,
             gain_db: measure::db(gain),
@@ -147,11 +141,13 @@ impl FiveTOta {
         let mut c = powered_circuit(tech, lib, &spec, &Realization::schematic())?;
         attach_sources(&mut c, tech, 0.0)?;
         let op = DcSolver::new().solve(&c)?;
-        let v = |name: &str| op.voltage(c.find_node(name).expect("net exists"));
+        let v_n3 = op.voltage(node(&c, "n3")?);
+        let v_n4 = op.voltage(node(&c, "n4")?);
+        let v_n5 = op.voltage(node(&c, "n5")?);
 
-        let mut dp = Bias::nominal(tech, &lib.get("dp").expect("dp").class);
+        let mut dp = Bias::nominal(tech, &prim(lib, "dp")?.class);
         dp.set_v("cm_in", 0.55 * tech.vdd)
-            .set_v("vd", v("n4"))
+            .set_v("vd", v_n4)
             .set_i("tail", 2.0 * Self::I_BIAS)
             .set_load("da", 4e-15)
             .set_load("db", Self::C_LOAD);
@@ -161,11 +157,11 @@ impl FiveTOta {
             dp.drain_load_ohm = (1.0 / fop.gm.max(1e-6)).min(2e3);
         }
 
-        let mut tail = Bias::nominal(tech, &lib.get("cm_1to2").expect("cm_1to2").class);
-        tail.set_i("ref", Self::I_BIAS).set_v("vout", v("n3"));
+        let mut tail = Bias::nominal(tech, &prim(lib, "cm_1to2")?.class);
+        tail.set_i("ref", Self::I_BIAS).set_v("vout", v_n3);
 
-        let mut load = Bias::nominal(tech, &lib.get("cm_pmos").expect("cm_pmos").class);
-        load.set_i("ref", Self::I_BIAS).set_v("vout", v("n5"));
+        let mut load = Bias::nominal(tech, &prim(lib, "cm_pmos")?.class);
+        load.set_i("ref", Self::I_BIAS).set_v("vout", v_n5);
 
         let mut out = HashMap::new();
         out.insert("dp0".to_string(), dp);
@@ -177,15 +173,15 @@ impl FiveTOta {
 
 fn attach_sources(c: &mut Circuit, tech: &Technology, ac_in: f64) -> Result<(), FlowError> {
     let vcm = 0.55 * tech.vdd;
-    let vinp = c.find_node("vinp").expect("vinp exists");
+    let vinp = node(c, "vinp")?;
     c.vsource_ac("VINP", vinp, Circuit::GROUND, vcm, 0.5 * ac_in);
-    let vinn = c.find_node("vinn").expect("vinn exists");
+    let vinn = node(c, "vinn")?;
     c.vsource_ac("VINN", vinn, Circuit::GROUND, vcm, -0.5 * ac_in);
-    let n1 = c.find_node("n1").expect("n1 exists");
+    let n1 = node(c, "n1")?;
     c.isource("IBIAS", Circuit::GROUND, n1, FiveTOta::I_BIAS);
-    let vss = c.find_node("vssn").expect("vssn exists");
+    let vss = node(c, "vssn")?;
     c.vsource("VSSN", vss, Circuit::GROUND, 0.0);
-    let vout = c.find_node("n5").expect("n5 exists");
+    let vout = node(c, "n5")?;
     c.capacitor("CLOAD", vout, Circuit::GROUND, FiveTOta::C_LOAD)?;
     Ok(())
 }

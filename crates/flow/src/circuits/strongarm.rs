@@ -13,7 +13,7 @@ use prima_spice::netlist::{Circuit, Waveform};
 use serde::{Deserialize, Serialize};
 
 use crate::builder::{PrimitiveInst, Realization};
-use crate::circuits::{powered_circuit, CircuitSpec};
+use crate::circuits::{node, powered_circuit, prim, CircuitSpec};
 use crate::FlowError;
 
 /// Circuit-level metrics of the StrongARM comparator (Table VI rows).
@@ -135,14 +135,14 @@ impl StrongArm {
         let vdd = tech.vdd;
         let vcm = 0.6 * vdd;
 
-        let vinp = c.find_node("vinp").expect("vinp");
+        let vinp = node(&c, "vinp")?;
         c.vsource("VINP", vinp, Circuit::GROUND, vcm + Self::V_IN_DIFF / 2.0);
-        let vinn = c.find_node("vinn").expect("vinn");
+        let vinn = node(&c, "vinn")?;
         c.vsource("VINN", vinn, Circuit::GROUND, vcm - Self::V_IN_DIFF / 2.0);
-        let vss = c.find_node("vssn").expect("vssn");
+        let vss = node(&c, "vssn")?;
         c.vsource("VSSN", vss, Circuit::GROUND, 0.0);
         let period = 1.0 / Self::F_CLK;
-        let clk = c.find_node("clk").expect("clk");
+        let clk = node(&c, "clk")?;
         c.vsource_wave(
             "VCLK",
             clk,
@@ -159,7 +159,7 @@ impl StrongArm {
             0.0,
         );
         for net in ["outp", "outn"] {
-            let n = c.find_node(net).expect("output net");
+            let n = node(&c, net)?;
             c.capacitor(&format!("CL_{net}"), n, Circuit::GROUND, Self::C_LOAD)?;
         }
 
@@ -169,8 +169,8 @@ impl StrongArm {
         let res = TranSolver::new(0.5e-12, t_stop).solve(&c)?;
         let t = res.times().to_vec();
         let vclk = res.voltage(clk);
-        let outp = res.voltage(c.find_node("outp").expect("outp"));
-        let outn = res.voltage(c.find_node("outn").expect("outn"));
+        let outp = res.voltage(node(&c, "outp")?);
+        let outn = res.voltage(node(&c, "outn")?);
         // Decision: |outp − outn| crosses vdd/2 after the second rising
         // clock edge (the precharge phase resets both outputs high, so the
         // magnitude starts near zero each cycle).
@@ -179,11 +179,11 @@ impl StrongArm {
             .zip(outn.iter())
             .map(|(p, n)| (p - n).abs())
             .collect();
-        let t_clk2 = measure::cross_time(&t, &vclk, vdd / 2.0, Edge::Rising, 2).ok_or(
+        let t_clk2 = measure::cross_time(&t, &vclk, vdd / 2.0, Edge::Rising, 2).map_err(|e| {
             FlowError::Measurement {
-                what: "clock edge not found".to_string(),
-            },
-        )?;
+                what: format!("clock edge not found: {e}"),
+            }
+        })?;
         let mut t_dec = None;
         for i in 1..diff.len() {
             if t[i] >= t_clk2 && diff[i - 1] < vdd / 2.0 && diff[i] >= vdd / 2.0 {
@@ -201,7 +201,7 @@ impl StrongArm {
             what: "no supply branch".to_string(),
         })?;
         let i_abs: Vec<f64> = isup.iter().map(|x| x.abs()).collect();
-        let power = measure::average(&t, &i_abs, 0.2e-9 + period, 0.2e-9 + 2.0 * period) * vdd;
+        let power = measure::average(&t, &i_abs, 0.2e-9 + period, 0.2e-9 + 2.0 * period)? * vdd;
 
         Ok(StrongArmMetrics {
             delay_ps: delay * 1e12,
@@ -213,18 +213,18 @@ impl StrongArm {
     pub fn biases(tech: &Technology, lib: &Library) -> Result<HashMap<String, Bias>, FlowError> {
         let vdd = tech.vdd;
         let mut out = HashMap::new();
-        let mut dp = Bias::nominal(tech, &lib.get("dp_switched").expect("dp_switched").class);
+        let mut dp = Bias::nominal(tech, &prim(lib, "dp_switched")?.class);
         dp.set_v("cm_in", 0.6 * vdd).set_v("vd", 0.7 * vdd);
         // The X nodes see only the latch sources and a precharge switch —
         // a few fF, not the generic amplifier load; with the real loading
         // the cost function feels every femtofarad the tuner would add.
         dp.set_load("da", 3e-15).set_load("db", 3e-15);
         out.insert("dpin".to_string(), dp);
-        let mut latch = Bias::nominal(tech, &lib.get("latch").expect("latch").class);
+        let mut latch = Bias::nominal(tech, &prim(lib, "latch")?.class);
         latch.set_v("vd", 0.5 * vdd);
         out.insert("latch0".to_string(), latch);
         for name in ["swxa", "swxb", "swop", "swon"] {
-            let mut sw = Bias::nominal(tech, &lib.get("switch_pmos").expect("switch_pmos").class);
+            let mut sw = Bias::nominal(tech, &prim(lib, "switch_pmos")?.class);
             sw.set_v("von", 0.0).set_v("vsig", vdd);
             out.insert(name.to_string(), sw);
         }

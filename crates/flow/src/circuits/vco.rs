@@ -14,7 +14,7 @@ use prima_spice::netlist::Circuit;
 use serde::{Deserialize, Serialize};
 
 use crate::builder::{PrimitiveInst, Realization};
-use crate::circuits::{powered_circuit, CircuitSpec};
+use crate::circuits::{node, powered_circuit, CircuitSpec};
 use crate::FlowError;
 
 /// VCO tuning-curve metrics (Table VII rows).
@@ -163,24 +163,24 @@ impl RoVco {
         let spec = self.spec();
         let mut c = powered_circuit(tech, lib, &spec, realization)?;
         let (vbn, vbp) = Self::control_to_bias(tech, vctrl);
-        let vbn_n = c.find_node("vbn").expect("vbn");
+        let vbn_n = node(&c, "vbn")?;
         c.vsource("VBN", vbn_n, Circuit::GROUND, vbn);
-        let vbp_n = c.find_node("vbp").expect("vbp");
+        let vbp_n = node(&c, "vbp")?;
         c.vsource("VBP", vbp_n, Circuit::GROUND, vbp);
-        let vss = c.find_node("vssn").expect("vssn");
+        let vss = node(&c, "vssn")?;
         c.vsource("VSSN", vss, Circuit::GROUND, 0.0);
         // Each stage drives interconnect in addition to the next gate.
         for i in 0..self.stages {
             for phase in ["p", "n"] {
-                let node = c.find_node(&format!("{phase}{i}")).expect("phase net");
-                c.capacitor(&format!("CSTG_{phase}{i}"), node, Circuit::GROUND, 3e-15)?;
+                let n = node(&c, &format!("{phase}{i}"))?;
+                c.capacitor(&format!("CSTG_{phase}{i}"), n, Circuit::GROUND, 3e-15)?;
             }
         }
 
         // Kick: a brief current pulse into phase 0 breaks the metastable
         // all-balanced DC point; the differential ring then regenerates.
-        let p0 = c.find_node("p0").expect("p0");
-        let n0 = c.find_node("n0").expect("n0");
+        let p0 = node(&c, "p0")?;
+        let n0 = node(&c, "n0")?;
         c.isource_wave(
             "IKICK",
             Circuit::GROUND,
@@ -221,11 +221,17 @@ impl RoVco {
         let diff: Vec<f64> = vp.iter().zip(vn.iter()).map(|(a, b)| a - b).collect();
 
         // Require a healthy differential swing to call it oscillation.
-        let swing = measure::settled_peak_to_peak(&diff);
+        let swing = measure::settled_peak_to_peak(&diff)?;
         if swing < 0.3 * tech.vdd {
             return Ok(None);
         }
-        Ok(measure::osc_frequency(&t, &diff, 6).map(|f| f / 1e9))
+        // Not oscillating is an expected outcome at some control voltages
+        // (the caller records 0 GHz); malformed data is a real error.
+        match measure::osc_frequency(&t, &diff, 6) {
+            Ok(f) => Ok(Some(f / 1e9)),
+            Err(measure::MeasureError::NoCrossing { .. }) => Ok(None),
+            Err(e) => Err(e.into()),
+        }
     }
 
     /// Sweeps the control voltage and summarizes the tuning curve.

@@ -10,17 +10,18 @@ use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
 use prima_core::{
-    clamp_to_em_floor, enumerate_configs, reconcile, route_wire, GlobalRoute, Optimizer, Phase,
-    PortConstraint,
+    clamp_to_em_floor, enumerate_configs, reconcile, route_wire, BinRanked, EvalLedger, Evaluated,
+    FaultInjector, FaultPlan, GlobalRoute, NoFaults, Optimizer, Phase, PortConstraint,
+    RepairBudgets, RepairCursor, ResilienceReport, Severity,
 };
 use prima_geom::Point;
 use prima_layout::{generate, render, CellConfig, PlacementPattern, PrimitiveLayout};
 use prima_pdk::Technology;
 use prima_place::{Block, Net, PlacementProblem, Placer};
-use prima_primitives::{Bias, Library};
-use prima_route::detail::{DetailRouter, DetailedResult};
+use prima_primitives::{Bias, Library, PrimitiveDef};
+use prima_route::detail::{DetailError, DetailRouter, DetailedResult};
 use prima_route::power::{synthesize, PowerGridSpec, PowerReport};
-use prima_route::{GlobalRouter, RoutingProblem, RoutingResult};
+use prima_route::{GlobalRouter, NetRoute, RoutingProblem, RoutingResult};
 use prima_verify::lints::{LintInputs, PortInterval};
 use prima_verify::{check_flow, CellArtifact, FlowArtifacts, VerifyReport};
 use serde::{Deserialize, Serialize};
@@ -110,13 +111,19 @@ pub struct FlowOutcome {
     /// router).
     pub detailed: DetailedResult,
     /// Static verification report, when the gate ran (see
-    /// [`FlowOptions::verify`]). A populated report here is always clean —
-    /// violations abort the flow with [`FlowError::Verify`].
+    /// [`FlowOptions::verify`]). A populated report here is always passing
+    /// (no error-severity findings) — unrepairable errors abort the flow
+    /// with [`FlowError::Verify`]; degraded-severity findings ride along.
     pub verify: Option<VerifyReport>,
     /// Electrical rule check report (prima-erc: EM, IR, symmetry,
     /// connectivity hygiene), run under the same policy right after the
-    /// geometric gate. Like `verify`, a populated report is always clean.
+    /// geometric gate. Like `verify`, a populated report is always passing.
     pub erc: Option<VerifyReport>,
+    /// What the flow survived: candidate evaluations lost to faults or
+    /// panics, routing retries, gate-driven candidate fallbacks, and the
+    /// overall health verdict. [`Health::Clean`](prima_core::Health::Clean)
+    /// means the flow took the same path a fault-free run would.
+    pub resilience: ResilienceReport,
 }
 
 /// Fallback supply-rail series resistance when the power grid cannot be
@@ -211,6 +218,43 @@ pub fn optimized_flow(
         seed,
         FlowKind::Optimized,
         FlowOptions::default(),
+        &NoFaults,
+        RepairBudgets::default(),
+    )
+}
+
+/// Runs the optimized flow under a fault-injection plan with bounded
+/// repair: faulted candidate evaluations are isolated and skipped, routing
+/// failures retried with perturbed net orderings, and gate failures
+/// repaired by falling back to the next-best candidate in the offending
+/// aspect-ratio bin. A zero-fault [`FaultPlan`] reproduces
+/// [`optimized_flow`] bit for bit.
+///
+/// # Errors
+///
+/// Same conditions as [`optimized_flow`], plus
+/// [`FlowError::RepairExhausted`] when a repair budget runs out.
+#[allow(clippy::too_many_arguments)]
+pub fn optimized_flow_resilient(
+    tech: &Technology,
+    lib: &Library,
+    spec: &CircuitSpec,
+    biases: &HashMap<String, Bias>,
+    seed: u64,
+    options: FlowOptions,
+    plan: &FaultPlan,
+    budgets: RepairBudgets,
+) -> Result<FlowOutcome, FlowError> {
+    run_flow(
+        tech,
+        lib,
+        spec,
+        biases,
+        seed,
+        FlowKind::Optimized,
+        options,
+        plan,
+        budgets,
     )
 }
 
@@ -228,7 +272,17 @@ pub fn optimized_flow_with(
     seed: u64,
     options: FlowOptions,
 ) -> Result<FlowOutcome, FlowError> {
-    run_flow(tech, lib, spec, biases, seed, FlowKind::Optimized, options)
+    run_flow(
+        tech,
+        lib,
+        spec,
+        biases,
+        seed,
+        FlowKind::Optimized,
+        options,
+        &NoFaults,
+        RepairBudgets::default(),
+    )
 }
 
 /// Runs the manual-layout proxy: the optimized flow with a wider search.
@@ -251,6 +305,8 @@ pub fn manual_flow(
         seed,
         FlowKind::Manual,
         FlowOptions::default(),
+        &NoFaults,
+        RepairBudgets::default(),
     )
 }
 
@@ -387,24 +443,115 @@ pub fn conventional_flow(
         detailed,
         verify,
         erc,
+        resilience: ResilienceReport::default(),
     })
 }
 
-/// Turns a dirty verification report into a flow error; clean reports pass
-/// through for the outcome.
+/// Turns a failing verification report into a flow error; passing reports
+/// (no error-severity findings — degraded/warning findings ride along)
+/// pass through for the outcome.
 fn gate(report: VerifyReport) -> Result<VerifyReport, FlowError> {
-    if report.is_clean() {
+    if report.is_passing() {
         Ok(report)
     } else {
-        Err(FlowError::Verify {
-            circuit: report.circuit.clone(),
-            violations: report.violations.len(),
-            first: report.violations[0].to_string(),
-        })
+        Err(gate_error(&report))
     }
 }
 
-/// Shared optimized/manual implementation.
+/// The flow error a failing report maps to: the first error-severity
+/// violation names the failure.
+fn gate_error(report: &VerifyReport) -> FlowError {
+    FlowError::Verify {
+        circuit: report.circuit.clone(),
+        violations: report.error_count(),
+        first: first_error(report),
+    }
+}
+
+/// The first error-severity violation of a report, rendered.
+fn first_error(report: &VerifyReport) -> String {
+    report
+        .violations
+        .iter()
+        .find(|v| v.severity == Severity::Error)
+        .map(|v| v.to_string())
+        .unwrap_or_default()
+}
+
+/// Per-instance selection state carried through the repair loop: the full
+/// ranked aspect-ratio bins from Algorithm 1, the fallback cursor, the
+/// currently active (tuned) candidate per bin, and which bins have been
+/// exhausted and dropped.
+struct InstState {
+    /// Primitive definition name (the [`EvalLedger`] key).
+    def: String,
+    /// Bias record the candidates were evaluated under.
+    bias: Bias,
+    /// Ranked candidates per aspect-ratio bin, best-first.
+    bins: Vec<BinRanked>,
+    /// Which rank each bin currently fields.
+    cursor: RepairCursor,
+    /// The active (tuned) candidate and its cost, one per bin.
+    active: Vec<(PrimitiveLayout, f64)>,
+    /// Bins dropped after exhausting their fallbacks.
+    dead: Vec<bool>,
+}
+
+/// Tunes one selected candidate when tuning is enabled; a tuning failure
+/// degrades to the untuned candidate instead of aborting the flow.
+fn tuned_candidate(
+    opt: &Optimizer,
+    def: &PrimitiveDef,
+    bias: &Bias,
+    pick: &Evaluated,
+    tuning: bool,
+    resilience: &mut ResilienceReport,
+    inst: &str,
+) -> (PrimitiveLayout, f64) {
+    if !tuning {
+        return (pick.layout.clone(), pick.cost);
+    }
+    match opt.tune(def, bias, pick.layout.clone()) {
+        Ok(t) => (t.layout, t.cost),
+        Err(e) => {
+            resilience.record(
+                "tuning",
+                inst,
+                format!("tuning failed ({e}); keeping the untuned candidate"),
+            );
+            (pick.layout.clone(), pick.cost)
+        }
+    }
+}
+
+/// Reorders routes so the failing net goes first and the remainder rotates
+/// by the attempt number — a deterministic perturbation that changes which
+/// tracks are occupied when the failing net asks for one.
+fn perturb_routes(mut routes: Vec<NetRoute>, failing: &str, attempt: usize) -> Vec<NetRoute> {
+    let (mut front, mut rest): (Vec<NetRoute>, Vec<NetRoute>) =
+        routes.drain(..).partition(|r| r.net == failing);
+    if !rest.is_empty() {
+        let k = attempt % rest.len();
+        rest.rotate_left(k);
+    }
+    front.extend(rest);
+    front
+}
+
+/// Scopes of a failing report's error-severity violations, in order.
+fn error_scopes(report: &VerifyReport) -> Vec<String> {
+    report
+        .violations
+        .iter()
+        .filter(|v| v.severity == Severity::Error)
+        .filter_map(|v| v.scope.clone())
+        .collect()
+}
+
+/// Shared optimized/manual implementation with fault isolation and bounded
+/// repair. With [`NoFaults`] and no organic failures every loop below runs
+/// exactly once and the result is bit-identical to the pre-resilience flow.
+#[allow(clippy::too_many_arguments)]
 fn run_flow(
     tech: &Technology,
     lib: &Library,
@@ -413,6 +560,8 @@ fn run_flow(
     seed: u64,
     kind: FlowKind,
     options: FlowOptions,
+    injector: &dyn FaultInjector,
+    budgets: RepairBudgets,
 ) -> Result<FlowOutcome, FlowError> {
     let start = Instant::now();
     let mut opt = Optimizer::new(tech);
@@ -424,13 +573,25 @@ fn run_flow(
         opt.max_tuning_wires = 10;
         opt.max_port_routes = 10;
     }
+    let mut resilience = ResilienceReport::new();
+    let mut ledger = EvalLedger::new();
 
     // ---- Algorithm 1 per primitive: selection + tuning -------------------
     // Instances sharing (definition, sizing, bias) — e.g. the sixteen
     // identical current-starved inverters of the VCO — are optimized once
-    // and share the resulting option set.
-    let mut cell_options: HashMap<String, Vec<PrimitiveLayout>> = HashMap::new();
-    let mut memo: Vec<(String, u64, Bias, Vec<PrimitiveLayout>)> = Vec::new();
+    // and start from the same ranked bins; the repair loop may then walk
+    // their fallback cursors apart per instance. Candidate evaluations that
+    // fail or panic are recorded in the ledger and skipped inside
+    // `select_bins`; the bins hold the survivors.
+    let mut states: Vec<(String, InstState)> = Vec::new();
+    type Memo = (
+        String,
+        u64,
+        Bias,
+        Vec<BinRanked>,
+        Vec<(PrimitiveLayout, f64)>,
+    );
+    let mut memo: Vec<Memo> = Vec::new();
     for inst in &spec.instances {
         let def = lib.get(&inst.def).ok_or(FlowError::UnknownPrimitive {
             name: inst.def.clone(),
@@ -442,278 +603,504 @@ fn run_flow(
             .get(&inst.name)
             .cloned()
             .unwrap_or_else(|| Bias::nominal(tech, &def.class));
-        if let Some((_, _, _, tuned)) = memo
+        if let Some((.., bins, active)) = memo
             .iter()
-            .find(|(d, f, b, _)| *d == inst.def && *f == inst.total_fins && *b == bias)
+            .find(|(d, f, b, ..)| *d == inst.def && *f == inst.total_fins && *b == bias)
         {
-            cell_options.insert(inst.name.clone(), tuned.clone());
+            states.push((
+                inst.name.clone(),
+                InstState {
+                    def: inst.def.clone(),
+                    bias: bias.clone(),
+                    cursor: RepairCursor::new(bins.len()),
+                    dead: vec![false; bins.len()],
+                    bins: bins.clone(),
+                    active: active.clone(),
+                },
+            ));
             continue;
         }
         let configs = config_space(inst.total_fins);
         if configs.is_empty() {
             continue;
         }
-        let picks = opt.select(def, &bias, &configs, n_bins)?;
-        let mut tuned = Vec::with_capacity(picks.len());
-        for pick in picks {
-            if options.tuning {
-                let t = opt.tune(def, &bias, pick.layout)?;
-                tuned.push((t.layout, t.cost));
-            } else {
-                tuned.push((pick.layout, pick.cost));
-            }
-        }
-        // Quality guard: the placer chooses among these by geometry alone,
-        // so drop aspect-ratio options whose cost is far off the best —
-        // they would let a pathological bin winner into the layout.
-        let best = tuned.iter().map(|(_, c)| *c).fold(f64::INFINITY, f64::min);
-        let mut kept: Vec<PrimitiveLayout> = tuned
-            .iter()
-            .filter(|(_, c)| *c <= (2.0 * best).max(best + 5.0))
-            .map(|(l, _)| l.clone())
+        let bins: Vec<BinRanked> = opt
+            .select_bins(def, &bias, &configs, n_bins, injector, &mut ledger)?
+            .into_iter()
+            .filter(|b| !b.ranked.is_empty())
             .collect();
-        if kept.is_empty() {
-            kept = tuned.iter().map(|(l, _)| l.clone()).collect();
+        if bins.is_empty() {
+            return Err(FlowError::NoCandidates {
+                instance: inst.name.clone(),
+            });
         }
-        if kind == FlowKind::Manual {
-            // The expert commits to the single best-performing cell and
-            // hand-fits the floorplan around it.
-            let best_layout = tuned
-                .iter()
-                .min_by(|a, b| a.1.total_cmp(&b.1))
-                .map(|(l, _)| l.clone())
-                .ok_or_else(|| FlowError::NoCandidates {
-                    instance: inst.name.clone(),
-                })?;
-            kept = vec![best_layout];
+        let mut active = Vec::with_capacity(bins.len());
+        for bin in &bins {
+            if let Some(pick) = bin.ranked.first() {
+                active.push(tuned_candidate(
+                    &opt,
+                    def,
+                    &bias,
+                    pick,
+                    options.tuning,
+                    &mut resilience,
+                    &inst.name,
+                ));
+            }
         }
-        memo.push((inst.def.clone(), inst.total_fins, bias, kept.clone()));
-        cell_options.insert(inst.name.clone(), kept);
+        memo.push((
+            inst.def.clone(),
+            inst.total_fins,
+            bias.clone(),
+            bins.clone(),
+            active.clone(),
+        ));
+        states.push((
+            inst.name.clone(),
+            InstState {
+                def: inst.def.clone(),
+                bias,
+                cursor: RepairCursor::new(bins.len()),
+                dead: vec![false; bins.len()],
+                bins,
+                active,
+            },
+        ));
     }
 
-    // ---- Place (variant selection) and global-route -----------------------
-    let placed = place_and_route(tech, spec, &cell_options, seed)?;
-    let (routing, chosen) = (&placed.routing, &placed.chosen);
-    let blocks: Vec<(prima_geom::Rect, f64)> = placed
-        .rects
-        .iter()
-        .map(|(name, r)| (*r, block_current(biases.get(name))))
-        .collect();
-    let (supply_r, power) = supply_grid(tech, &blocks, placed.bbox);
-
-    // ---- Algorithm 2: port constraints + reconciliation -------------------
-    let mut per_net: HashMap<String, Vec<PortConstraint>> = HashMap::new();
-    let mut net_routes: HashMap<String, GlobalRoute> = HashMap::new();
+    // One detail router for the whole run: injected route faults are
+    // consumed by the attempt that trips over them and stay consumed, so a
+    // retry can succeed.
+    let mut router = DetailRouter::new(tech);
     for net in spec.nets() {
-        if is_power_net(&net) {
-            continue;
-        }
-        if let Some(route) = routing.net(&net) {
-            net_routes.insert(
-                net.clone(),
-                GlobalRoute {
-                    layer: route.dominant_layer(),
-                    len_nm: route.total_len_nm(),
-                    via_ends: 2,
-                },
-            );
+        let n = injector.route_failures(&net);
+        if n > 0 {
+            router.inject_failure(&net, n);
         }
     }
-    for inst in &spec.instances {
-        let def = lib.get(&inst.def).ok_or(FlowError::UnknownPrimitive {
-            name: inst.def.clone(),
-        })?;
-        if def.spec.devices.is_empty() {
-            continue;
+
+    // ---- Place/route + Algorithm 2 + gates, with bounded repair ----------
+    let mut gate_attempt: u32 = 0;
+    loop {
+        gate_attempt += 1;
+
+        // Current option set per instance: the live bins' active
+        // candidates. Quality guard: the placer chooses among these by
+        // geometry alone, so drop aspect-ratio options whose cost is far
+        // off the best — they would let a pathological bin winner into the
+        // layout.
+        let mut cell_options: HashMap<String, Vec<PrimitiveLayout>> = HashMap::new();
+        let mut kept_bins: HashMap<String, Vec<usize>> = HashMap::new();
+        for (name, st) in &states {
+            let live: Vec<usize> = (0..st.active.len()).filter(|&i| !st.dead[i]).collect();
+            if live.is_empty() {
+                return Err(FlowError::NoCandidates {
+                    instance: name.clone(),
+                });
+            }
+            let best = live
+                .iter()
+                .map(|&i| st.active[i].1)
+                .fold(f64::INFINITY, f64::min);
+            let mut keep: Vec<usize> = live
+                .iter()
+                .copied()
+                .filter(|&i| st.active[i].1 <= (2.0 * best).max(best + 5.0))
+                .collect();
+            if keep.is_empty() {
+                keep = live.clone();
+            }
+            if kind == FlowKind::Manual {
+                // The expert commits to the single best-performing cell and
+                // hand-fits the floorplan around it.
+                let bi = live
+                    .iter()
+                    .copied()
+                    .min_by(|&a, &b| st.active[a].1.total_cmp(&st.active[b].1))
+                    .ok_or_else(|| FlowError::NoCandidates {
+                        instance: name.clone(),
+                    })?;
+                keep = vec![bi];
+            }
+            cell_options.insert(
+                name.clone(),
+                keep.iter().map(|&i| st.active[i].0.clone()).collect(),
+            );
+            kept_bins.insert(name.clone(), keep);
         }
-        let bias = biases
-            .get(&inst.name)
-            .cloned()
-            .unwrap_or_else(|| Bias::nominal(tech, &def.class));
-        // The routes at this primitive's ports, keyed by port net name.
-        let mut routes: HashMap<String, GlobalRoute> = HashMap::new();
-        for (port, net) in &inst.conn {
-            if let Some(gr) = net_routes.get(net) {
-                routes.insert(port.clone(), *gr);
+
+        // ---- Place (variant selection) and global-route ------------------
+        let placed = place_and_route(tech, spec, &cell_options, seed)?;
+        let (routing, chosen) = (&placed.routing, &placed.chosen);
+        let blocks: Vec<(prima_geom::Rect, f64)> = placed
+            .rects
+            .iter()
+            .map(|(name, r)| (*r, block_current(biases.get(name))))
+            .collect();
+        let (supply_r, power) = supply_grid(tech, &blocks, placed.bbox);
+
+        // ---- Algorithm 2: port constraints + reconciliation --------------
+        let mut per_net: HashMap<String, Vec<PortConstraint>> = HashMap::new();
+        let mut net_routes: HashMap<String, GlobalRoute> = HashMap::new();
+        for net in spec.nets() {
+            if is_power_net(&net) {
+                continue;
+            }
+            if let Some(route) = routing.net(&net) {
+                net_routes.insert(
+                    net.clone(),
+                    GlobalRoute {
+                        layer: route.dominant_layer(),
+                        len_nm: route.total_len_nm(),
+                        via_ends: 2,
+                    },
+                );
             }
         }
-        if routes.is_empty() {
-            continue;
-        }
-        let layout = chosen.get(&inst.name);
-        let cons = opt.port_constraints(def, &bias, layout, inst.total_fins, &routes)?;
-        for c in cons {
-            // Back-map the port name to the circuit net.
-            if let Some(net) = inst.net_of(&c.net) {
-                per_net
-                    .entry(net.to_string())
-                    .or_default()
-                    .push(PortConstraint {
-                        net: net.to_string(),
-                        ..c
-                    });
-            }
-        }
-    }
-    // EM clamp: raise every net's width interval to the EM-safe floor for
-    // its worst-case current *before* reconciliation, so the widths
-    // Algorithm 2 hands the detailed router pass the electrical gate by
-    // construction. Currents only exist when port optimization runs — the
-    // ablated flow chooses no widths, so there is nothing to keep safe.
-    let currents = if options.port_optimization {
-        electrical::net_currents(tech, lib, spec, biases, &placed.pins)
-    } else {
-        Vec::new()
-    };
-    let mut floors: HashMap<String, u32> = HashMap::new();
-    for nc in &currents {
-        if let Some(route) = routing.net(&nc.net) {
-            floors.insert(
-                nc.net.clone(),
-                prima_erc::em::em_floor(tech, route, nc.worst_a),
-            );
-        }
-    }
-    for (net, constraints) in &mut per_net {
-        if let Some(&floor) = floors.get(net) {
-            clamp_to_em_floor(constraints, floor);
-        }
-    }
-    let mut net_wires = HashMap::new();
-    let mut widths: HashMap<String, u32> = HashMap::new();
-    for (net, constraints) in &per_net {
-        let w = if options.port_optimization {
-            reconcile(constraints).w
-        } else {
-            1
-        };
-        widths.insert(net.clone(), w);
-        if let Some(gr) = net_routes.get(net) {
-            net_wires.insert(net.clone(), route_wire(tech, gr, w));
-        }
-    }
-    // Routed nets no primitive constrained still get the EM-safe width
-    // (single wires when the net carries no known current).
-    for (net, gr) in &net_routes {
-        if !widths.contains_key(net) {
-            let k = floors.get(net).copied().unwrap_or(1);
-            widths.insert(net.clone(), k);
-            net_wires.insert(net.clone(), route_wire(tech, gr, k));
-        }
-    }
-
-    let mut sims = HashMap::new();
-    sims.insert("selection", opt.counter().count(Phase::Selection));
-    sims.insert("tuning", opt.counter().count(Phase::Tuning));
-    sims.insert("ports", opt.counter().count(Phase::PortConstraints));
-
-    // Hand the reconciled widths to the detailed router (paper §I: "the
-    // optimized widths are a requirement for the detailed router").
-    let detailed = DetailRouter::new(tech)
-        .assign_with_symmetry(routing.routes(), &widths, &spec.symmetric_nets)
-        .map_err(|e| FlowError::Measurement {
-            what: format!("detailed routing failed: {e}"),
-        })?;
-
-    // ---- Static verification gate (DRC + LVS-lite + lints) ----------------
-    let verify = if options.verify.enabled() {
-        let outline_of: HashMap<&str, prima_geom::Rect> =
-            placed.rects.iter().map(|(n, r)| (n.as_str(), *r)).collect();
-        let mut artifacts = FlowArtifacts::new(&spec.name, tech);
         for inst in &spec.instances {
-            let Some(&outline) = outline_of.get(inst.name.as_str()) else {
+            let def = lib.get(&inst.def).ok_or(FlowError::UnknownPrimitive {
+                name: inst.def.clone(),
+            })?;
+            if def.spec.devices.is_empty() {
+                continue;
+            }
+            let bias = biases
+                .get(&inst.name)
+                .cloned()
+                .unwrap_or_else(|| Bias::nominal(tech, &def.class));
+            // The routes at this primitive's ports, keyed by port net name.
+            let mut routes: HashMap<String, GlobalRoute> = HashMap::new();
+            for (port, net) in &inst.conn {
+                if let Some(gr) = net_routes.get(net) {
+                    routes.insert(port.clone(), *gr);
+                }
+            }
+            if routes.is_empty() {
+                continue;
+            }
+            let layout = chosen.get(&inst.name);
+            let cons = opt.port_constraints(def, &bias, layout, inst.total_fins, &routes)?;
+            for c in cons {
+                // Back-map the port name to the circuit net.
+                if let Some(net) = inst.net_of(&c.net) {
+                    per_net
+                        .entry(net.to_string())
+                        .or_default()
+                        .push(PortConstraint {
+                            net: net.to_string(),
+                            ..c
+                        });
+                }
+            }
+        }
+        // EM clamp: raise every net's width interval to the EM-safe floor
+        // for its worst-case current *before* reconciliation, so the widths
+        // Algorithm 2 hands the detailed router pass the electrical gate by
+        // construction. Currents only exist when port optimization runs —
+        // the ablated flow chooses no widths, so there is nothing to keep
+        // safe.
+        let currents = if options.port_optimization {
+            electrical::net_currents(tech, lib, spec, biases, &placed.pins)
+        } else {
+            Vec::new()
+        };
+        let mut floors: HashMap<String, u32> = HashMap::new();
+        for nc in &currents {
+            if let Some(route) = routing.net(&nc.net) {
+                floors.insert(
+                    nc.net.clone(),
+                    prima_erc::em::em_floor(tech, route, nc.worst_a),
+                );
+            }
+        }
+        for (net, constraints) in &mut per_net {
+            if let Some(&floor) = floors.get(net) {
+                clamp_to_em_floor(constraints, floor);
+            }
+        }
+        let mut net_wires = HashMap::new();
+        let mut widths: HashMap<String, u32> = HashMap::new();
+        for (net, constraints) in &per_net {
+            let w = if options.port_optimization {
+                reconcile(constraints).w
+            } else {
+                1
+            };
+            widths.insert(net.clone(), w);
+            if let Some(gr) = net_routes.get(net) {
+                net_wires.insert(net.clone(), route_wire(tech, gr, w));
+            }
+        }
+        // Routed nets no primitive constrained still get the EM-safe width
+        // (single wires when the net carries no known current).
+        for (net, gr) in &net_routes {
+            if !widths.contains_key(net) {
+                let k = floors.get(net).copied().unwrap_or(1);
+                widths.insert(net.clone(), k);
+                net_wires.insert(net.clone(), route_wire(tech, gr, k));
+            }
+        }
+
+        let mut sims = HashMap::new();
+        sims.insert("selection", opt.counter().count(Phase::Selection));
+        sims.insert("tuning", opt.counter().count(Phase::Tuning));
+        sims.insert("ports", opt.counter().count(Phase::PortConstraints));
+
+        // Hand the reconciled widths to the detailed router (paper §I: "the
+        // optimized widths are a requirement for the detailed router"),
+        // retrying with a perturbed net ordering — the failing net first —
+        // when an attempt fails, up to the route budget.
+        let mut routes: Vec<NetRoute> = routing.routes().to_vec();
+        let mut route_attempt: u32 = 0;
+        let detailed = loop {
+            route_attempt += 1;
+            match router.assign_with_symmetry(&routes, &widths, &spec.symmetric_nets) {
+                Ok(d) => break d,
+                Err(e) => {
+                    let net = match &e {
+                        DetailError::Congested { net, .. }
+                        | DetailError::ZeroWidth { net }
+                        | DetailError::PairDesync { net } => net.clone(),
+                    };
+                    if route_attempt >= budgets.route_attempts {
+                        return Err(FlowError::RepairExhausted {
+                            circuit: spec.name.clone(),
+                            stage: "detail routing".to_string(),
+                            attempts: route_attempt,
+                            last: e.to_string(),
+                        });
+                    }
+                    resilience.route_retries += 1;
+                    resilience.record(
+                        "routing",
+                        &net,
+                        format!(
+                            "attempt {route_attempt} failed ({e}); \
+                             retrying with perturbed net order"
+                        ),
+                    );
+                    routes = perturb_routes(routes, &net, route_attempt as usize);
+                }
+            }
+        };
+
+        // ---- Static verification gate (DRC + LVS-lite + lints) -----------
+        let verify = if options.verify.enabled() {
+            let outline_of: HashMap<&str, prima_geom::Rect> =
+                placed.rects.iter().map(|(n, r)| (n.as_str(), *r)).collect();
+            let mut artifacts = FlowArtifacts::new(&spec.name, tech);
+            for inst in &spec.instances {
+                let Some(&outline) = outline_of.get(inst.name.as_str()) else {
+                    continue;
+                };
+                // Re-render the chosen variant's mask geometry; the DRC
+                // pass checks the drawn rectangles, not the parasitic
+                // model.
+                let geometry = chosen.get(&inst.name).and_then(|layout| {
+                    lib.get(&inst.def)
+                        .and_then(|def| render(tech, &def.spec, &layout.config).ok())
+                });
+                artifacts.cells.push(CellArtifact {
+                    instance: inst.name.clone(),
+                    outline,
+                    geometry,
+                });
+            }
+            artifacts.pins = placed.pins.clone();
+            artifacts.routing = Some(routing);
+            artifacts.detailed = Some(&detailed);
+            artifacts.expected_nets = placed.pins.iter().map(|(n, _)| n.clone()).collect();
+            artifacts.lints = LintInputs {
+                metric_weights: {
+                    let mut seen_defs: Vec<&str> = Vec::new();
+                    let mut weights = Vec::new();
+                    for inst in &spec.instances {
+                        let Some(def) = lib.get(&inst.def) else {
+                            continue;
+                        };
+                        if seen_defs.contains(&def.name.as_str()) {
+                            continue;
+                        }
+                        seen_defs.push(&def.name);
+                        for m in &def.metrics {
+                            weights.push((format!("{}.{}", def.name, m.name), m.weight));
+                        }
+                    }
+                    weights
+                },
+                aspect_candidates: cell_options
+                    .values()
+                    .flatten()
+                    .map(|l| l.aspect_ratio())
+                    .collect(),
+                n_bins,
+                ports: if options.port_optimization {
+                    port_intervals(&per_net, &widths)
+                } else {
+                    Vec::new()
+                },
+            };
+            Some(check_flow(&artifacts))
+        } else {
+            None
+        };
+
+        // Electrical gate: EM over the routed topology at the reconciled
+        // widths (clean by construction thanks to the clamp above), static
+        // IR on the synthesized grid, symmetry/matching lints, and
+        // connectivity hygiene.
+        let erc = if options.verify.enabled() {
+            Some(electrical::erc_report(&ErcBuild {
+                tech,
+                lib,
+                spec,
+                biases: Some(biases),
+                routing: Some(routing),
+                widths: &widths,
+                pins: &placed.pins,
+                rects: &placed.rects,
+                layouts: &placed.chosen,
+                power: power.as_ref(),
+                with_currents: options.port_optimization,
+                with_symmetry: true,
+            }))
+        } else {
+            None
+        };
+
+        // ---- Gate verdict + bounded candidate-fallback repair ------------
+        let failure: Option<(&'static str, usize, String, Vec<String>)> =
+            [("verify", verify.as_ref()), ("erc", erc.as_ref())]
+                .into_iter()
+                .find_map(|(g, r)| {
+                    r.filter(|r| !r.is_passing())
+                        .map(|r| (g, r.error_count(), first_error(r), error_scopes(r)))
+                });
+        let Some((gate_name, n_errors, first, scopes)) = failure else {
+            resilience.absorb_ledger(&ledger);
+            return Ok(FlowOutcome {
+                kind,
+                realization: Realization {
+                    layouts: placed.chosen,
+                    net_wires,
+                    supply_r_ohm: supply_r,
+                },
+                runtime: start.elapsed(),
+                sims,
+                area_um2: placed.area_um2,
+                wirelength_um: placed.routing.total_wirelength() as f64 / 1000.0,
+                detailed,
+                verify,
+                erc,
+                resilience,
+            });
+        };
+        if gate_attempt >= budgets.gate_attempts {
+            // Out of budget: surface the gate failure itself.
+            return Err(FlowError::Verify {
+                circuit: spec.name.clone(),
+                violations: n_errors,
+                first,
+            });
+        }
+
+        // Victim priority: instances a violation names, then instances
+        // tapping a violation's net, then spec order. The first victim with
+        // a usable fallback gets its chosen bin demoted (the candidate on
+        // trial is the one the placer actually put in the layout).
+        let mut victims: Vec<String> = Vec::new();
+        for scope in &scopes {
+            if states.iter().any(|(n, _)| n == scope) {
+                victims.push(scope.clone());
+            } else {
+                for (inst, _) in spec.taps(scope) {
+                    victims.push(inst.name.clone());
+                }
+            }
+        }
+        victims.extend(states.iter().map(|(n, _)| n.clone()));
+        let mut uniq: Vec<String> = Vec::new();
+        for v in victims {
+            if !uniq.contains(&v) {
+                uniq.push(v);
+            }
+        }
+
+        let mut repaired = false;
+        'victims: for name in uniq {
+            let Some((_, st)) = states.iter_mut().find(|(n, _)| *n == name) else {
                 continue;
             };
-            // Re-render the chosen variant's mask geometry; the DRC pass
-            // checks the drawn rectangles, not the parasitic model.
-            let geometry = chosen.get(&inst.name).and_then(|layout| {
-                lib.get(&inst.def)
-                    .and_then(|def| render(tech, &def.spec, &layout.config).ok())
-            });
-            artifacts.cells.push(CellArtifact {
-                instance: inst.name.clone(),
-                outline,
-                geometry,
+            let Some(bin) = placed
+                .chosen_variant
+                .get(&name)
+                .and_then(|&v| kept_bins.get(&name).and_then(|ks| ks.get(v)))
+                .copied()
+            else {
+                continue;
+            };
+            // Record the failing candidate so no cursor re-selects it.
+            let cur = st.cursor.current(bin);
+            if let Some(&cand) = st.bins[bin].candidates.get(cur) {
+                if !ledger.is_failed(&st.def, cand) {
+                    ledger.record(
+                        &st.def,
+                        cand,
+                        false,
+                        format!("failed {gate_name} gate: {first}"),
+                    );
+                }
+            }
+            let pairs = st.bins[bin].id_pairs(&st.def);
+            if let Some(rank) = st.cursor.demote(bin, &pairs, &ledger) {
+                let def = lib.get(&st.def).ok_or(FlowError::UnknownPrimitive {
+                    name: st.def.clone(),
+                })?;
+                if let Some(pick) = st.bins[bin].ranked.get(rank) {
+                    st.active[bin] = tuned_candidate(
+                        &opt,
+                        def,
+                        &st.bias,
+                        pick,
+                        options.tuning,
+                        &mut resilience,
+                        &name,
+                    );
+                    resilience.record(
+                        "gate",
+                        &name,
+                        format!(
+                            "{gate_name} gate failed ({first}); \
+                             bin {bin} fell back to rank {rank}"
+                        ),
+                    );
+                    repaired = true;
+                    break 'victims;
+                }
+            }
+            // Bin exhausted: drop it so the placer stops choosing it, as
+            // long as the instance keeps at least one live bin.
+            if st.dead.iter().enumerate().any(|(i, d)| !d && i != bin) {
+                st.dead[bin] = true;
+                resilience.record(
+                    "gate",
+                    &name,
+                    format!("{gate_name} gate failed ({first}); bin {bin} exhausted, dropped"),
+                );
+                repaired = true;
+                break 'victims;
+            }
+        }
+        if !repaired {
+            return Err(FlowError::RepairExhausted {
+                circuit: spec.name.clone(),
+                stage: format!("{gate_name} gate"),
+                attempts: gate_attempt,
+                last: first,
             });
         }
-        artifacts.pins = placed.pins.clone();
-        artifacts.routing = Some(routing);
-        artifacts.detailed = Some(&detailed);
-        artifacts.expected_nets = placed.pins.iter().map(|(n, _)| n.clone()).collect();
-        artifacts.lints = LintInputs {
-            metric_weights: {
-                let mut seen_defs: Vec<&str> = Vec::new();
-                let mut weights = Vec::new();
-                for inst in &spec.instances {
-                    let Some(def) = lib.get(&inst.def) else {
-                        continue;
-                    };
-                    if seen_defs.contains(&def.name.as_str()) {
-                        continue;
-                    }
-                    seen_defs.push(&def.name);
-                    for m in &def.metrics {
-                        weights.push((format!("{}.{}", def.name, m.name), m.weight));
-                    }
-                }
-                weights
-            },
-            aspect_candidates: cell_options
-                .values()
-                .flatten()
-                .map(|l| l.aspect_ratio())
-                .collect(),
-            n_bins,
-            ports: if options.port_optimization {
-                port_intervals(&per_net, &widths)
-            } else {
-                Vec::new()
-            },
-        };
-        Some(gate(check_flow(&artifacts))?)
-    } else {
-        None
-    };
-
-    // Electrical gate: EM over the routed topology at the reconciled
-    // widths (clean by construction thanks to the clamp above), static IR
-    // on the synthesized grid, symmetry/matching lints, and connectivity
-    // hygiene.
-    let erc = if options.verify.enabled() {
-        let report = electrical::erc_report(&ErcBuild {
-            tech,
-            lib,
-            spec,
-            biases: Some(biases),
-            routing: Some(routing),
-            widths: &widths,
-            pins: &placed.pins,
-            rects: &placed.rects,
-            layouts: &placed.chosen,
-            power: power.as_ref(),
-            with_currents: options.port_optimization,
-            with_symmetry: true,
-        });
-        Some(gate(report)?)
-    } else {
-        None
-    };
-
-    Ok(FlowOutcome {
-        kind,
-        realization: Realization {
-            layouts: placed.chosen,
-            net_wires,
-            supply_r_ohm: supply_r,
-        },
-        runtime: start.elapsed(),
-        sims,
-        area_um2: placed.area_um2,
-        wirelength_um: placed.routing.total_wirelength() as f64 / 1000.0,
-        detailed,
-        verify,
-        erc,
-    })
+        resilience.gate_retries += 1;
+    }
 }
 
 /// Folds each net's port constraints into lint intervals: when the
@@ -833,6 +1220,7 @@ fn flat_place_and_route(
         area_um2: area,
         routing,
         chosen: HashMap::new(),
+        chosen_variant: HashMap::new(),
         bbox,
         rects,
         pins: net_pins,
@@ -860,6 +1248,10 @@ struct PlacedDesign {
     routing: RoutingResult,
     /// Chosen layout variant per instance (empty for the flat flow).
     chosen: HashMap<String, PrimitiveLayout>,
+    /// Index of the chosen variant into the instance's option list (empty
+    /// for the flat flow) — the repair loop maps it back to the
+    /// aspect-ratio bin on trial after a gate failure.
+    chosen_variant: HashMap<String, usize>,
     /// Placement bounding box.
     bbox: prima_geom::Rect,
     /// Placed outline per block, in placement order.
@@ -917,11 +1309,13 @@ fn place_and_route(
 
     // Chosen layout per instance = the variant the placer picked.
     let mut chosen = HashMap::new();
+    let mut chosen_variant = HashMap::new();
     for inst in &spec.instances {
         if let Some(layouts) = options.get(&inst.name) {
             if !layouts.is_empty() {
                 let v = placement.variants[index_of[&inst.name]].min(layouts.len() - 1);
                 chosen.insert(inst.name.clone(), layouts[v].clone());
+                chosen_variant.insert(inst.name.clone(), v);
             }
         }
     }
@@ -970,6 +1364,7 @@ fn place_and_route(
         area_um2: area,
         routing,
         chosen,
+        chosen_variant,
         bbox,
         rects,
         pins: net_pins,

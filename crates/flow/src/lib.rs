@@ -16,7 +16,7 @@
 //!   extracted layouts) into one flat simulator circuit, inserting
 //!   global-route RC on the top-level nets and supply IR resistance.
 
-#![cfg_attr(test, allow(clippy::unwrap_used))]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 #![forbid(unsafe_code)]
 
 pub mod builder;
@@ -31,13 +31,15 @@ use prima_place::PlaceError;
 use prima_primitives::EvalError;
 use prima_route::RouteError;
 use prima_spice::analysis::AnalysisError;
+use prima_spice::measure::MeasureError;
 use prima_spice::netlist::SpiceError;
 
 pub use builder::{build_circuit, PrimitiveInst, Realization};
 pub use flows::{
-    conventional_flow, manual_flow, optimized_flow, optimized_flow_with, FlowKind, FlowOptions,
-    FlowOutcome, VerifyPolicy,
+    conventional_flow, manual_flow, optimized_flow, optimized_flow_resilient, optimized_flow_with,
+    FlowKind, FlowOptions, FlowOutcome, VerifyPolicy,
 };
+pub use prima_core::{FaultPlan, Health, RepairBudgets, ResilienceReport};
 
 /// Errors from circuit assembly and flow execution.
 #[derive(Debug, Clone, PartialEq)]
@@ -85,6 +87,18 @@ pub enum FlowError {
         /// The first violation, formatted.
         first: String,
     },
+    /// The bounded repair loop ran out of attempts or fallback candidates
+    /// without producing a gate-clean layout.
+    RepairExhausted {
+        /// Circuit whose repair failed.
+        circuit: String,
+        /// Stage that exhausted its budget ("routing" or "gate").
+        stage: String,
+        /// Attempts spent before giving up.
+        attempts: u32,
+        /// The last failure, formatted.
+        last: String,
+    },
 }
 
 impl fmt::Display for FlowError {
@@ -111,6 +125,15 @@ impl fmt::Display for FlowError {
             } => write!(
                 f,
                 "verification: {circuit} has {violations} violation(s), first: {first}"
+            ),
+            FlowError::RepairExhausted {
+                circuit,
+                stage,
+                attempts,
+                last,
+            } => write!(
+                f,
+                "repair exhausted: {circuit} {stage} failed after {attempts} attempt(s), last: {last}"
             ),
         }
     }
@@ -146,5 +169,12 @@ impl From<PlaceError> for FlowError {
 impl From<RouteError> for FlowError {
     fn from(e: RouteError) -> Self {
         FlowError::Route(e)
+    }
+}
+impl From<MeasureError> for FlowError {
+    fn from(e: MeasureError) -> Self {
+        FlowError::Measurement {
+            what: e.to_string(),
+        }
     }
 }

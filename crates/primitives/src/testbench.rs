@@ -79,6 +79,14 @@ impl From<SpiceError> for EvalError {
     }
 }
 
+impl From<measure::MeasureError> for EvalError {
+    fn from(e: measure::MeasureError) -> Self {
+        EvalError::MeasurementFailed {
+            what: e.to_string(),
+        }
+    }
+}
+
 /// Evaluates every metric of a primitive; returns name → value.
 ///
 /// # Errors
@@ -885,13 +893,13 @@ fn csi_metric(
                     let half = vdd / 2.0;
                     let d_hl =
                         measure::delay(&t, &vin, half, Edge::Rising, 1, &vout, half, Edge::Falling)
-                            .ok_or(EvalError::MeasurementFailed {
-                                what: "no output fall".to_string(),
+                            .map_err(|e| EvalError::MeasurementFailed {
+                                what: format!("no output fall: {e}"),
                             })?;
                     let d_lh =
                         measure::delay(&t, &vin, half, Edge::Falling, 1, &vout, half, Edge::Rising)
-                            .ok_or(EvalError::MeasurementFailed {
-                                what: "no output rise".to_string(),
+                            .map_err(|e| EvalError::MeasurementFailed {
+                                what: format!("no output rise: {e}"),
                             })?;
                     Ok(0.5 * (d_hl + d_lh))
                 }
@@ -902,7 +910,7 @@ fn csi_metric(
                             what: "no supply branch".to_string(),
                         })?;
                     let i_abs: Vec<f64> = i.iter().map(|x| x.abs()).collect();
-                    Ok(measure::average(&t, &i_abs, 0.15e-9, 1.45e-9))
+                    Ok(measure::average(&t, &i_abs, 0.15e-9, 1.45e-9)?)
                 }
                 _ => unreachable!(),
             }

@@ -8,6 +8,7 @@
 //! reconciled for its net), shifting away from already-occupied tracks,
 //! and symmetric net pairs can be constrained to mirrored tracks.
 
+use std::cell::RefCell;
 use std::collections::HashMap;
 
 use prima_geom::Nm;
@@ -38,6 +39,13 @@ pub enum DetailError {
         /// The offending net.
         net: String,
     },
+    /// A symmetric pair's segment lists fell out of sync during joint
+    /// assignment — an internal invariant surfaced as a typed error (not a
+    /// panic) so a repair loop can retry with a different ordering.
+    PairDesync {
+        /// Net of the pair whose segment index went out of range.
+        net: String,
+    },
 }
 
 impl std::fmt::Display for DetailError {
@@ -47,6 +55,9 @@ impl std::fmt::Display for DetailError {
                 write!(f, "no free tracks for net {net} on M{layer}")
             }
             DetailError::ZeroWidth { net } => write!(f, "net {net} requests zero tracks"),
+            DetailError::PairDesync { net } => {
+                write!(f, "symmetric pair of net {net} lost segment alignment")
+            }
         }
     }
 }
@@ -111,6 +122,12 @@ pub struct DetailRouter<'t> {
     tech: &'t Technology,
     /// Maximum track shift explored per segment before reporting congestion.
     pub max_shift: i64,
+    /// Per-net forced-congestion counters for fault injection: the next
+    /// `n` assignment attempts of a net report [`DetailError::Congested`]
+    /// before any search runs. Interior-mutable because assignment takes
+    /// `&self`; counters persist across calls on the same router, so a
+    /// retry after an injected failure genuinely succeeds.
+    forced_failures: RefCell<HashMap<String, u32>>,
 }
 
 impl<'t> DetailRouter<'t> {
@@ -119,6 +136,47 @@ impl<'t> DetailRouter<'t> {
         DetailRouter {
             tech,
             max_shift: 40,
+            forced_failures: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// Forces the next `count` assignment attempts of `net` to report
+    /// congestion (fault injection for resilience testing). Counts
+    /// accumulate across calls.
+    pub fn inject_failure(&mut self, net: &str, count: u32) {
+        if count > 0 {
+            *self
+                .forced_failures
+                .borrow_mut()
+                .entry(net.to_string())
+                .or_insert(0) += count;
+        }
+    }
+
+    /// Consumes one forced failure of `net`, if any is pending.
+    fn take_forced_failure(&self, net: &str) -> bool {
+        let mut forced = self.forced_failures.borrow_mut();
+        match forced.get_mut(net) {
+            Some(n) if *n > 0 => {
+                *n -= 1;
+                if *n == 0 {
+                    forced.remove(net);
+                }
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// The injected congestion for a route, when one is pending.
+    fn forced_congestion(&self, route: &NetRoute) -> Option<DetailError> {
+        if self.take_forced_failure(&route.net) {
+            Some(DetailError::Congested {
+                net: route.net.clone(),
+                layer: route.segments.first().map(|s| s.layer).unwrap_or(1),
+            })
+        } else {
+            None
         }
     }
 
@@ -142,6 +200,9 @@ impl<'t> DetailRouter<'t> {
         let mut result = DetailedResult::default();
 
         for route in routes {
+            if let Some(err) = self.forced_congestion(route) {
+                return Err(err);
+            }
             let k = widths.get(&route.net).copied().unwrap_or(1);
             if k == 0 {
                 return Err(DetailError::ZeroWidth {
@@ -190,6 +251,9 @@ impl<'t> DetailRouter<'t> {
             if done.contains(&route.net) {
                 continue;
             }
+            if let Some(err) = self.forced_congestion(route) {
+                return Err(err);
+            }
             let k = widths.get(&route.net).copied().unwrap_or(1);
             if k == 0 {
                 return Err(DetailError::ZeroWidth {
@@ -198,6 +262,9 @@ impl<'t> DetailRouter<'t> {
             }
             match partner_of(&route.net).and_then(|p| routes.iter().find(|r| r.net == p)) {
                 Some(partner) => {
+                    if let Some(err) = self.forced_congestion(partner) {
+                        return Err(err);
+                    }
                     let kp = widths.get(&partner.net).copied().unwrap_or(1);
                     if kp == 0 {
                         return Err(DetailError::ZeroWidth {
@@ -253,16 +320,16 @@ impl<'t> DetailRouter<'t> {
         let mut out = Vec::new();
         let n_seg = route.segments.len().min(partner.segments.len());
         for ix in 0..n_seg {
+            let seg_a = route.segments.get(ix).ok_or(DetailError::PairDesync {
+                net: route.net.clone(),
+            })?;
+            let seg_b = partner.segments.get(ix).ok_or(DetailError::PairDesync {
+                net: partner.net.clone(),
+            })?;
             let (a_asgn, shift) =
-                self.assign_segment_shifted(&route.net, &route.segments[ix], k, occupied, None)?;
+                self.assign_segment_shifted(&route.net, seg_a, k, occupied, None)?;
             let partner_try = self
-                .assign_segment_shifted(
-                    &partner.net,
-                    &partner.segments[ix],
-                    kp,
-                    occupied,
-                    Some(shift),
-                )
+                .assign_segment_shifted(&partner.net, seg_b, kp, occupied, Some(shift))
                 .ok()
                 .filter(|(b_asgn, _)| {
                     let gap = self.tech.rules.metal(a_asgn.layer).min_space;
@@ -301,16 +368,22 @@ impl<'t> DetailRouter<'t> {
         kb: u32,
         occupied: &HashMap<(usize, i64), Vec<(Nm, Nm)>>,
     ) -> Result<(TrackAssignment, TrackAssignment), DetailError> {
+        let seg_a = a
+            .segments
+            .get(ix)
+            .ok_or(DetailError::PairDesync { net: a.net.clone() })?;
+        let seg_b = b
+            .segments
+            .get(ix)
+            .ok_or(DetailError::PairDesync { net: b.net.clone() })?;
         for shift_mag in 0..=self.max_shift {
             for sign in [1i64, -1] {
                 if shift_mag == 0 && sign < 0 {
                     continue;
                 }
                 let shift = sign * shift_mag;
-                let ra =
-                    self.assign_segment_shifted(&a.net, &a.segments[ix], ka, occupied, Some(shift));
-                let rb =
-                    self.assign_segment_shifted(&b.net, &b.segments[ix], kb, occupied, Some(shift));
+                let ra = self.assign_segment_shifted(&a.net, seg_a, ka, occupied, Some(shift));
+                let rb = self.assign_segment_shifted(&b.net, seg_b, kb, occupied, Some(shift));
                 if let (Ok((aa, _)), Ok((bb, _))) = (ra, rb) {
                     // The two assignments must also not collide with each
                     // other.
@@ -326,7 +399,7 @@ impl<'t> DetailRouter<'t> {
         }
         Err(DetailError::Congested {
             net: a.net.clone(),
-            layer: a.segments[ix].layer,
+            layer: seg_a.layer,
         })
     }
 
@@ -527,6 +600,41 @@ mod tests {
             router.assign(&routes, &widths),
             Err(DetailError::Congested { .. })
         ));
+    }
+
+    #[test]
+    fn injected_failures_fire_then_clear() {
+        let t = tech();
+        let routes = route_two_nets(&t);
+        let mut router = DetailRouter::new(&t);
+        router.inject_failure("a", 2);
+        // First two attempts fail with congestion on the faulted net …
+        for _ in 0..2 {
+            match router.assign(&routes, &HashMap::new()) {
+                Err(DetailError::Congested { net, .. }) => assert_eq!(net, "a"),
+                other => panic!("expected injected congestion, got {other:?}"),
+            }
+        }
+        // … then the counter is spent and routing succeeds on the SAME
+        // router instance (the property the flow's retry loop relies on).
+        let res = router.assign(&routes, &HashMap::new()).unwrap();
+        assert!(res.verify_no_conflicts());
+    }
+
+    #[test]
+    fn injected_failures_fire_in_symmetric_mode() {
+        let t = tech();
+        let routes = route_two_nets(&t);
+        let mut router = DetailRouter::new(&t);
+        router.inject_failure("b", 1);
+        let pairs = vec![("a".to_string(), "b".to_string())];
+        assert!(matches!(
+            router.assign_with_symmetry(&routes, &HashMap::new(), &pairs),
+            Err(DetailError::Congested { net, .. }) if net == "b"
+        ));
+        assert!(router
+            .assign_with_symmetry(&routes, &HashMap::new(), &pairs)
+            .is_ok());
     }
 
     #[test]

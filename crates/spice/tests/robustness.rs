@@ -156,7 +156,7 @@ fn measure_ignores_plateau_noise() {
         .collect();
     // Level 0.5 crossed exactly once even though the low plateau hovers
     // just below it.
-    assert!(measure::cross_time(&t, &w, 0.5, measure::Edge::Rising, 2).is_none());
+    assert!(measure::cross_time(&t, &w, 0.5, measure::Edge::Rising, 2).is_err());
     let first = measure::cross_time(&t, &w, 0.5, measure::Edge::Rising, 1).unwrap();
     assert!((first - 49.0) < 1.5);
 }

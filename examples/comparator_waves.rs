@@ -5,7 +5,7 @@
 //! Run with `cargo run --release --example comparator_waves`; files land in
 //! the current directory.
 
-#![allow(clippy::unwrap_used)]
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use prima_flow::circuits::StrongArm;
 use prima_flow::{build_circuit, optimized_flow};

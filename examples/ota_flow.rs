@@ -4,7 +4,7 @@
 //!
 //! Run with `cargo run --release --example ota_flow`.
 
-#![allow(clippy::unwrap_used)]
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use prima_flow::circuits::FiveTOta;
 use prima_flow::{conventional_flow, optimized_flow, Realization};

@@ -4,7 +4,7 @@
 //! Usage: `cargo run --release --example primitive_explorer [name] [fins]`
 //! e.g. `cargo run --release --example primitive_explorer cm_1to8 288`.
 
-#![allow(clippy::unwrap_used)]
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use prima_core::{enumerate_configs, Optimizer, Phase};
 use prima_layout::generate;

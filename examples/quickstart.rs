@@ -6,7 +6,7 @@
 //!
 //! Run with `cargo run --release --example quickstart`.
 
-#![allow(clippy::unwrap_used)]
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use prima_core::{enumerate_configs, Optimizer, Phase};
 use prima_pdk::Technology;

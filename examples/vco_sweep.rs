@@ -4,7 +4,7 @@
 //! Run with `cargo run --release --example vco_sweep` (this drives long
 //! transient simulations; expect minutes).
 
-#![allow(clippy::unwrap_used)]
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use prima_flow::circuits::RoVco;
 use prima_flow::{conventional_flow, optimized_flow, Realization};

@@ -11,7 +11,9 @@
 
 use std::collections::HashMap;
 
-use prima_erc::{check_erc, CentroidGroup, ErcArtifacts, NetCurrent, SupplyTap, SymmetryPair};
+use prima_erc::{
+    check_erc, CentroidGroup, ErcArtifacts, NetCurrent, Severity, SupplyTap, SymmetryPair,
+};
 use prima_flow::circuits::{CsAmp, FiveTOta, RoVco, StrongArm};
 use prima_flow::{conventional_flow, optimized_flow};
 use prima_geom::{Point, Rect};
@@ -133,8 +135,15 @@ fn seeded_overloaded_wire_trips_em_width() {
         taps: Vec::new(),
     }];
     let report = check_erc(&art);
-    assert_eq!(report.violations.len(), 1, "{}", report.summary());
-    let v = &report.violations[0];
+    // The tapless fixture also gets a degraded EM.FALLBACK note (current
+    // propagation has no budgets to split); only the width error gates.
+    assert_eq!(report.error_count(), 1, "{}", report.summary());
+    assert!(report.has_rule("EM.FALLBACK"), "{}", report.summary());
+    let v = report
+        .violations
+        .iter()
+        .find(|v| v.severity == Severity::Error)
+        .unwrap();
     assert_eq!(v.rule_id, "EM.WIDTH");
     assert_eq!(v.layer.as_deref(), Some("M1"));
     assert_eq!(v.found, Some(200));
@@ -157,8 +166,12 @@ fn seeded_overloaded_via_stack_trips_em_via() {
     }];
     let report = check_erc(&art);
     assert!(!report.has_rule("EM.WIDTH"), "{}", report.summary());
-    assert_eq!(report.violations.len(), 1, "{}", report.summary());
-    let v = &report.violations[0];
+    assert_eq!(report.error_count(), 1, "{}", report.summary());
+    let v = report
+        .violations
+        .iter()
+        .find(|v| v.severity == Severity::Error)
+        .unwrap();
     assert_eq!(v.rule_id, "EM.VIA");
     assert_eq!(v.layer.as_deref(), Some("V1"));
     assert_eq!(v.found, Some(300));
@@ -179,7 +192,11 @@ fn widened_net_clears_the_same_via_stack() {
         worst_a: 300e-6,
         taps: Vec::new(),
     }];
-    assert!(check_erc(&art).is_clean());
+    // Passing (no errors); the tapless fixture still carries the degraded
+    // EM.FALLBACK note.
+    let report = check_erc(&art);
+    assert!(report.is_passing(), "{}", report.summary());
+    assert_eq!(report.error_count(), 0, "{}", report.summary());
 }
 
 /// A supply tap whose grid feed (39 mV) plus internal access drop

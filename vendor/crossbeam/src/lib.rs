@@ -61,10 +61,7 @@ pub mod thread {
         fn scope_spawns_and_joins() {
             let data = vec![1u64, 2, 3, 4];
             let total: u64 = super::scope(|scope| {
-                let handles: Vec<_> = data
-                    .iter()
-                    .map(|&x| scope.spawn(move |_| x * 10))
-                    .collect();
+                let handles: Vec<_> = data.iter().map(|&x| scope.spawn(move |_| x * 10)).collect();
                 handles
                     .into_iter()
                     .map(|h| h.join().expect("no panic"))
