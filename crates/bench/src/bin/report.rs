@@ -6,7 +6,8 @@
 //!   cargo run --release -p prima-bench --bin report -- fast    # skip slow rows
 //!
 //! Exhibits: fig2 (≡ table1), table2, fig3, fig5, table3, table4, fig6,
-//! table5, table6, table7, table8, ablations, verify, erc, resilience.
+//! table5, table6, table7, table8, ablations, verify, erc, resilience,
+//! cache.
 
 use prima_bench::*;
 
@@ -26,6 +27,7 @@ const EXHIBITS: &[&str] = &[
     "verify",
     "erc",
     "resilience",
+    "cache",
 ];
 
 fn main() {
@@ -96,5 +98,8 @@ fn main() {
     }
     if run("resilience") {
         println!("{}", resilience_summary(&env));
+    }
+    if run("cache") {
+        println!("{}", cache_summary(&env));
     }
 }

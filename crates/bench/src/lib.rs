@@ -26,7 +26,7 @@ use prima_core::{enumerate_configs, reconcile, route_wire, GlobalRoute, Optimize
 use prima_flow::circuits::{CsAmp, FiveTOta, RoVco, StrongArm};
 use prima_flow::{
     conventional_flow, manual_flow, optimized_flow, optimized_flow_resilient, optimized_flow_with,
-    FaultPlan, FlowOptions, Realization, RepairBudgets, VerifyPolicy,
+    CachePolicy, FaultPlan, FlowOptions, Realization, RepairBudgets, VerifyPolicy,
 };
 use prima_layout::{generate, CellConfig, PlacementPattern};
 use prima_pdk::Technology;
@@ -1124,7 +1124,7 @@ pub fn verify_summary(env: &Env) -> String {
         ),
     ];
     for (name, spec, biases) in cases {
-        match optimized_flow_with(tech, lib, &spec, &biases, 11, gate_on) {
+        match optimized_flow_with(tech, lib, &spec, &biases, 11, gate_on.clone()) {
             Ok(outcome) => {
                 let r = outcome.verify.expect("gate forced on");
                 writeln!(
@@ -1212,7 +1212,7 @@ pub fn erc_summary(env: &Env) -> String {
         ),
     ];
     for (name, spec, biases) in cases {
-        match optimized_flow_with(tech, lib, &spec, &biases, 11, gate_on) {
+        match optimized_flow_with(tech, lib, &spec, &biases, 11, gate_on.clone()) {
             Ok(outcome) => {
                 let r = outcome.erc.expect("gate forced on");
                 writeln!(
@@ -1311,7 +1311,7 @@ pub fn resilience_summary(env: &Env) -> String {
             &spec,
             &biases,
             11,
-            gate_on,
+            gate_on.clone(),
             &plan,
             RepairBudgets::default(),
         ) {
@@ -1359,6 +1359,127 @@ pub fn resilience_summary(env: &Env) -> String {
 
 fn cs_biases(env: &Env) -> HashMap<String, Bias> {
     CsAmp::biases(&env.tech, &env.lib).expect("biases")
+}
+
+/// Evaluation-cache exhibit: cold-vs-warm optimized flow per benchmark
+/// circuit — wall time, simulation counts, and cache hit rates — with a
+/// machine-readable copy written to `BENCH_cache.json`.
+pub fn cache_summary(env: &Env) -> String {
+    let Env { tech, lib } = env;
+    let mut out = String::new();
+    writeln!(
+        out,
+        "=== Evaluation cache: cold vs warm optimized flow (seed 11) ==="
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "\n{:<11} {:>9} {:>9} {:>8} {:>10} {:>10} {:>9}  outcome",
+        "circuit", "cold ms", "warm ms", "speedup", "cold sims", "warm sims", "hit rate"
+    )
+    .unwrap();
+
+    let vco = RoVco::small();
+    let cases = vec![
+        ("cs_amp", CsAmp::spec(), CsAmp::biases(tech, lib).unwrap()),
+        (
+            "ota5t",
+            FiveTOta::spec(),
+            FiveTOta::biases(tech, lib).unwrap(),
+        ),
+        (
+            "strongarm",
+            StrongArm::spec(),
+            StrongArm::biases(tech, lib).unwrap(),
+        ),
+        ("vco", vco.spec(), vco.biases(tech, lib).unwrap()),
+    ];
+    let mut json_rows = Vec::new();
+    for (name, spec, biases) in cases {
+        let path = std::env::temp_dir().join(format!(
+            "prima-bench-cache-{}-{name}.bin",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let opts = FlowOptions {
+            verify: VerifyPolicy::On,
+            cache: CachePolicy::Persistent(path.clone()),
+            ..FlowOptions::default()
+        };
+
+        let t0 = Instant::now();
+        let cold = optimized_flow_with(tech, lib, &spec, &biases, 11, opts.clone())
+            .expect("cold cached flow");
+        let cold_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let t1 = Instant::now();
+        let warm =
+            optimized_flow_with(tech, lib, &spec, &biases, 11, opts).expect("warm cached flow");
+        let warm_ms = t1.elapsed().as_secs_f64() * 1e3;
+        let _ = std::fs::remove_file(&path);
+
+        let cold_sims: usize = cold.sims.values().sum();
+        let warm_sims: usize = warm.sims.values().sum();
+        let stats = warm.cache.expect("warm cache stats");
+        let identical = cold.area_um2.to_bits() == warm.area_um2.to_bits()
+            && cold.wirelength_um.to_bits() == warm.wirelength_um.to_bits()
+            && cold.realization.layouts == warm.realization.layouts
+            && cold.realization.net_wires == warm.realization.net_wires;
+        let speedup = if warm_ms > 0.0 {
+            cold_ms / warm_ms
+        } else {
+            0.0
+        };
+        writeln!(
+            out,
+            "{:<11} {:>9.1} {:>9.1} {:>7.1}x {:>10} {:>10} {:>8.1}%  {}",
+            name,
+            cold_ms,
+            warm_ms,
+            speedup,
+            cold_sims,
+            warm_sims,
+            stats.hit_rate() * 100.0,
+            if identical {
+                "bit-identical"
+            } else {
+                "DIFFERS"
+            }
+        )
+        .unwrap();
+        json_rows.push(format!(
+            concat!(
+                "    {{\"circuit\": \"{}\", \"cold_ms\": {:.3}, \"warm_ms\": {:.3}, ",
+                "\"cold_sims\": {}, \"warm_sims\": {}, \"hits\": {}, \"misses\": {}, ",
+                "\"hit_rate\": {:.4}, \"bit_identical\": {}}}"
+            ),
+            name,
+            cold_ms,
+            warm_ms,
+            cold_sims,
+            warm_sims,
+            stats.hits,
+            stats.misses,
+            stats.hit_rate(),
+            identical
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"exhibit\": \"cache_cold_vs_warm\",\n  \"seed\": 11,\n  \"circuits\": [\n{}\n  ]\n}}\n",
+        json_rows.join(",\n")
+    );
+    match std::fs::write("BENCH_cache.json", &json) {
+        Ok(()) => writeln!(out, "\nmachine-readable copy written to BENCH_cache.json").unwrap(),
+        Err(e) => writeln!(out, "\ncould not write BENCH_cache.json: {e}").unwrap(),
+    }
+    writeln!(
+        out,
+        "warm runs replay stored metric values bit for bit; only the cache's\n\
+         lookups and the flow's non-evaluation stages (placement, routing,\n\
+         gates) are re-run."
+    )
+    .unwrap();
+    out
 }
 
 #[cfg(test)]

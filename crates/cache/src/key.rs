@@ -1,0 +1,111 @@
+//! Content-addressed cache keys for one testbench evaluation.
+
+use crate::fingerprint::{Fingerprint, Fingerprintable, FpHasher};
+
+/// Serialized size of an [`EvalKey`]: five 16-byte fingerprints plus a
+/// 4-byte testbench version.
+pub const KEY_BYTES: usize = 84;
+
+/// Identity of one `evaluate_all` call.
+///
+/// Two evaluations with equal keys are guaranteed (up to hash collision) to
+/// have been given the same technology, primitive definition, layout view,
+/// bias point, and external wiring, under the same testbench revision — so
+/// the cached metric values can be substituted bit-for-bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EvalKey {
+    /// Fingerprint of the full `Technology` (PDK rules + compact models).
+    pub tech: Fingerprint,
+    /// Fingerprint of the `PrimitiveDef` (spec, metrics, tuning, ports).
+    pub def: Fingerprint,
+    /// Fingerprint of the `LayoutView` (schematic fin count, or the full
+    /// candidate layout including its `CellConfig`).
+    pub view: Fingerprint,
+    /// Fingerprint of the `Bias` operating point.
+    pub bias: Fingerprint,
+    /// Fingerprint of the external-wire map (port parasitics).
+    pub wires: Fingerprint,
+    /// Bumped whenever the testbench equations change meaning.
+    pub testbench_version: u32,
+}
+
+impl EvalKey {
+    /// Fixed-width little-endian serialization (disk-format stable).
+    pub fn to_bytes(&self) -> [u8; KEY_BYTES] {
+        let mut out = [0u8; KEY_BYTES];
+        let mut at = 0;
+        for fp in [self.tech, self.def, self.view, self.bias, self.wires] {
+            out[at..at + 16].copy_from_slice(&fp.to_bytes());
+            at += 16;
+        }
+        out[at..at + 4].copy_from_slice(&self.testbench_version.to_le_bytes());
+        out
+    }
+
+    /// Inverse of [`EvalKey::to_bytes`].
+    pub fn from_bytes(bytes: &[u8; KEY_BYTES]) -> Self {
+        let fp_at = |at: usize| {
+            let mut b = [0u8; 16];
+            b.copy_from_slice(&bytes[at..at + 16]);
+            Fingerprint::from_bytes(b)
+        };
+        let mut ver = [0u8; 4];
+        ver.copy_from_slice(&bytes[80..84]);
+        EvalKey {
+            tech: fp_at(0),
+            def: fp_at(16),
+            view: fp_at(32),
+            bias: fp_at(48),
+            wires: fp_at(64),
+            testbench_version: u32::from_le_bytes(ver),
+        }
+    }
+
+    /// Combined digest of the whole key (used for shard selection).
+    pub fn id(&self) -> Fingerprint {
+        let mut h = FpHasher::new();
+        h.write_tag("EvalKey");
+        self.tech.feed(&mut h);
+        self.def.feed(&mut h);
+        self.view.feed(&mut h);
+        self.bias.feed(&mut h);
+        self.wires.feed(&mut h);
+        h.write_u32(self.testbench_version);
+        h.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(seed: u64) -> EvalKey {
+        EvalKey {
+            tech: Fingerprint(seed, seed.wrapping_mul(3)),
+            def: Fingerprint(seed ^ 1, seed.wrapping_add(7)),
+            view: Fingerprint(seed ^ 2, seed.rotate_left(9)),
+            bias: Fingerprint(seed ^ 3, !seed),
+            wires: Fingerprint(seed ^ 4, seed.wrapping_mul(31)),
+            testbench_version: (seed % 5) as u32,
+        }
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        for seed in [0u64, 1, 42, u64::MAX, 0xdead_beef] {
+            let k = key(seed);
+            assert_eq!(EvalKey::from_bytes(&k.to_bytes()), k);
+        }
+    }
+
+    #[test]
+    fn id_distinguishes_fields() {
+        let base = key(10);
+        let mut other = base;
+        other.testbench_version += 1;
+        assert_ne!(base.id(), other.id());
+        let mut other = base;
+        other.wires = Fingerprint(0, 0);
+        assert_ne!(base.id(), other.id());
+    }
+}

@@ -1,0 +1,32 @@
+//! # prima-cache — content-addressed evaluation cache
+//!
+//! Algorithm 1 re-runs the cheap-SPICE testbench for every candidate of
+//! every primitive on every flow run, even when nothing it depends on has
+//! changed. This crate makes those evaluations content-addressed:
+//!
+//! * [`Fingerprint`] / [`FpHasher`] / [`Fingerprintable`] — a stable,
+//!   platform-independent 128-bit hash over logical content. The domain
+//!   crates (`prima-spice`, `prima-pdk`, `prima-layout`,
+//!   `prima-primitives`) implement [`Fingerprintable`] for their types.
+//! * [`EvalKey`] — the identity of one `evaluate_all` call: technology,
+//!   primitive definition, layout view, bias, external wires, testbench
+//!   version. Incremental re-evaluation falls out of this for free: edit
+//!   one primitive's spec and only its keys change, so a re-run re-evaluates
+//!   exactly the dirtied candidates.
+//! * [`EvalCache`] — a two-tier store behind a [`CachePolicy`]: a sharded
+//!   in-memory map for intra-run reuse plus an append-only, checksummed,
+//!   version-headed disk log with atomic snapshot/compaction for reuse
+//!   across runs. Disk damage of any kind degrades to a cold start and a
+//!   [`CacheEvent`]; it never errors into the evaluation pipeline.
+//!
+//! This crate is dependency-free (std only) and sits below every other
+//! crate in the workspace.
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
+pub mod fingerprint;
+pub mod key;
+pub mod store;
+
+pub use fingerprint::{Fingerprint, Fingerprintable, FpHasher};
+pub use key::{EvalKey, KEY_BYTES};
+pub use store::{CacheEvent, CacheEventKind, CachePolicy, CacheStats, EvalCache, FORMAT_VERSION};

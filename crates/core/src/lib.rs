@@ -46,11 +46,17 @@ pub mod resilience;
 pub mod selection;
 pub mod tuning;
 
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
+use prima_cache::{EvalCache, EvalKey, Fingerprintable};
 use prima_layout::LayoutError;
 use prima_pdk::Technology;
-use prima_primitives::EvalError;
+use prima_primitives::{
+    evaluate_all, external_wires_fingerprint, Bias, EvalError, ExternalWire, LayoutView,
+    MetricValues, PrimitiveDef, TESTBENCH_VERSION,
+};
 
 pub use accounting::{Phase, SimCounter};
 pub use cost::{cost_of, deviation_percent, CostBreakdown};
@@ -108,6 +114,7 @@ impl From<LayoutError> for OptError {
 pub struct Optimizer<'t> {
     tech: &'t Technology,
     counter: SimCounter,
+    cache: Option<Arc<EvalCache>>,
     /// Maximum parallel wires explored during primitive tuning.
     pub max_tuning_wires: u32,
     /// Maximum parallel routes explored during port optimization.
@@ -120,6 +127,7 @@ impl<'t> Optimizer<'t> {
         Optimizer {
             tech,
             counter: SimCounter::new(),
+            cache: None,
             max_tuning_wires: 7,
             max_port_routes: 8,
         }
@@ -133,5 +141,58 @@ impl<'t> Optimizer<'t> {
     /// The simulation counter (shared across phases).
     pub fn counter(&self) -> &SimCounter {
         &self.counter
+    }
+
+    /// Attaches a content-addressed evaluation cache. The cache must have
+    /// been opened under this optimizer's technology fingerprint.
+    pub fn set_cache(&mut self, cache: Arc<EvalCache>) {
+        self.cache = Some(cache);
+    }
+
+    /// The attached evaluation cache, if any.
+    pub fn cache(&self) -> Option<&EvalCache> {
+        self.cache.as_deref()
+    }
+
+    /// Runs one testbench evaluation through the cache, when one is attached.
+    ///
+    /// A hit substitutes the stored metric values bit-for-bit and records no
+    /// simulations — the counter measures real testbench work, which is also
+    /// why hits can never be charged against repair budgets (those count
+    /// route/gate attempts downstream, not lookups). A miss evaluates,
+    /// records the counter, and stores only the `Ok` result: failed or
+    /// fault-injected evaluations propagate their error before any store, so
+    /// ledgered candidates never poison the cache.
+    pub(crate) fn eval_values(
+        &self,
+        def: &PrimitiveDef,
+        view: LayoutView<'_>,
+        bias: &Bias,
+        ext: &HashMap<String, ExternalWire>,
+        phase: Phase,
+    ) -> Result<MetricValues, OptError> {
+        let key = self
+            .cache
+            .as_deref()
+            .filter(|c| c.is_enabled())
+            .map(|c| EvalKey {
+                tech: c.tech_fingerprint(),
+                def: def.fingerprint(),
+                view: view.fingerprint(),
+                bias: bias.fingerprint(),
+                wires: external_wires_fingerprint(ext),
+                testbench_version: TESTBENCH_VERSION,
+            });
+        if let (Some(cache), Some(key)) = (self.cache.as_deref(), key.as_ref()) {
+            if let Some(values) = cache.lookup(key) {
+                return Ok(values);
+            }
+        }
+        let values = evaluate_all(self.tech, def, view, bias, ext)?;
+        self.counter.record(phase, def.metrics.len());
+        if let (Some(cache), Some(key)) = (self.cache.as_deref(), key) {
+            cache.store(key, &values);
+        }
+        Ok(values)
     }
 }

@@ -13,7 +13,7 @@ use std::collections::HashMap;
 use prima_geom::Nm;
 use prima_layout::PrimitiveLayout;
 use prima_pdk::Technology;
-use prima_primitives::{evaluate_all, Bias, ExternalWire, LayoutView, PrimitiveDef};
+use prima_primitives::{Bias, ExternalWire, LayoutView, PrimitiveDef};
 use serde::{Deserialize, Serialize};
 
 use crate::accounting::Phase;
@@ -110,15 +110,13 @@ impl<'t> Optimizer<'t> {
             Some(l) => LayoutView::Layout(l),
             None => LayoutView::Schematic { total_fins },
         };
-        let sch = evaluate_all(
-            self.tech(),
+        let sch = self.eval_values(
             def,
             view_sch(total_fins),
             bias,
             &Default::default(),
+            Phase::PortConstraints,
         )?;
-        self.counter()
-            .record(Phase::PortConstraints, def.metrics.len());
 
         let mut out = Vec::new();
         for (net, route) in routes {
@@ -146,9 +144,8 @@ impl<'t> Optimizer<'t> {
                             for g in group {
                                 ext.insert(g.clone(), route_wire(self.tech(), route, k));
                             }
-                            let values = evaluate_all(self.tech(), def, view, bias, &ext)?;
-                            self.counter()
-                                .record(Phase::PortConstraints, def.metrics.len());
+                            let values =
+                                self.eval_values(def, view, bias, &ext, Phase::PortConstraints)?;
                             let (cost, _) = cost_of(&def.metrics, sch, &values);
                             Ok(cost)
                         })

@@ -3,7 +3,7 @@
 //! bin by aspect ratio, and keep the minimum-cost layout per bin.
 
 use prima_layout::{generate, CellConfig, PlacementPattern, PrimitiveLayout};
-use prima_primitives::{evaluate_all, Bias, EvalError, LayoutView, MetricValues, PrimitiveDef};
+use prima_primitives::{Bias, EvalError, LayoutView, MetricValues, PrimitiveDef};
 use prima_spice::analysis::AnalysisError;
 
 use crate::accounting::Phase;
@@ -72,15 +72,13 @@ impl<'t> Optimizer<'t> {
         bias: &Bias,
         total_fins: u64,
     ) -> Result<MetricValues, OptError> {
-        let sch = evaluate_all(
-            self.tech(),
+        self.eval_values(
             def,
             LayoutView::Schematic { total_fins },
             bias,
             &Default::default(),
-        )?;
-        self.counter().record(Phase::Selection, def.metrics.len());
-        Ok(sch)
+            Phase::Selection,
+        )
     }
 
     /// Evaluates one concrete layout against a precomputed schematic
@@ -97,14 +95,13 @@ impl<'t> Optimizer<'t> {
         sch: &MetricValues,
         phase: Phase,
     ) -> Result<Evaluated, OptError> {
-        let values = evaluate_all(
-            self.tech(),
+        let values = self.eval_values(
             def,
             LayoutView::Layout(&layout),
             bias,
             &Default::default(),
+            phase,
         )?;
-        self.counter().record(phase, def.metrics.len());
         let (cost, breakdown) = cost_of(&def.metrics, sch, &values);
         Ok(Evaluated {
             layout,

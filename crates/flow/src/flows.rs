@@ -7,18 +7,20 @@
 //! by performance optimization or by defaults.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use prima_cache::{CacheEventKind, CachePolicy, CacheStats, EvalCache, Fingerprintable};
 use prima_core::{
     clamp_to_em_floor, enumerate_configs, reconcile, route_wire, BinRanked, EvalLedger, Evaluated,
     FaultInjector, FaultPlan, GlobalRoute, NoFaults, Optimizer, Phase, PortConstraint,
-    RepairBudgets, RepairCursor, ResilienceReport, Severity,
+    RepairBudgets, RepairCursor, ResilienceReport, RuleKind, Severity, Violation,
 };
 use prima_geom::Point;
 use prima_layout::{generate, render, CellConfig, PlacementPattern, PrimitiveLayout};
 use prima_pdk::Technology;
 use prima_place::{Block, Net, PlacementProblem, Placer};
-use prima_primitives::{Bias, Library, PrimitiveDef};
+use prima_primitives::{Bias, Library, PrimitiveDef, TESTBENCH_VERSION};
 use prima_route::detail::{DetailError, DetailRouter, DetailedResult};
 use prima_route::power::{synthesize, PowerGridSpec, PowerReport};
 use prima_route::{GlobalRouter, NetRoute, RoutingProblem, RoutingResult};
@@ -70,7 +72,9 @@ impl VerifyPolicy {
 }
 
 /// Switches for ablating individual steps of the optimized flow.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// Not `Copy`: [`CachePolicy::Persistent`] carries a path.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FlowOptions {
     /// Run Algorithm 1 step 2 (parallel-wire tuning of selected layouts).
     pub tuning: bool,
@@ -79,6 +83,10 @@ pub struct FlowOptions {
     pub port_optimization: bool,
     /// Static DRC/LVS/lint gate policy.
     pub verify: VerifyPolicy,
+    /// Content-addressed evaluation caching (prima-cache). Off by default:
+    /// cached runs produce bit-identical layouts but different simulation
+    /// counts, and the counts are part of the paper's exhibits.
+    pub cache: CachePolicy,
 }
 
 impl Default for FlowOptions {
@@ -87,6 +95,7 @@ impl Default for FlowOptions {
             tuning: true,
             port_optimization: true,
             verify: VerifyPolicy::default(),
+            cache: CachePolicy::Off,
         }
     }
 }
@@ -124,6 +133,15 @@ pub struct FlowOutcome {
     /// overall health verdict. [`Health::Clean`](prima_core::Health::Clean)
     /// means the flow took the same path a fault-free run would.
     pub resilience: ResilienceReport,
+    /// Evaluation-cache counters, when caching was enabled (see
+    /// [`FlowOptions::cache`]). Hits substitute stored metric values
+    /// bit-for-bit and are excluded from `sims`.
+    pub cache: Option<CacheStats>,
+    /// Degraded-severity cache incidents (`CACHE.CORRUPT`,
+    /// `CACHE.INVALIDATED`, `CACHE.IO`): disk-tier problems absorbed by
+    /// cold-starting the affected entries. Also recorded as resilience
+    /// degradations; never fatal.
+    pub cache_diagnostics: Vec<Violation>,
 }
 
 /// Fallback supply-rail series resistance when the power grid cannot be
@@ -444,7 +462,65 @@ pub fn conventional_flow(
         verify,
         erc,
         resilience: ResilienceReport::default(),
+        cache: None,
+        cache_diagnostics: Vec::new(),
     })
+}
+
+/// Opens the evaluation cache `policy` asks for, keyed under this
+/// technology's content fingerprint and the current testbench revision.
+fn open_cache(policy: &CachePolicy, tech: &Technology) -> Option<Arc<EvalCache>> {
+    match policy {
+        CachePolicy::Off => None,
+        policy => Some(Arc::new(EvalCache::open(
+            policy.clone(),
+            tech.fingerprint(),
+            TESTBENCH_VERSION,
+        ))),
+    }
+}
+
+/// Snapshots the cache to disk and converts its disk-tier incidents into
+/// degraded-severity diagnostics plus resilience degradations. A failing
+/// snapshot is itself such an incident — cache problems are never fatal.
+fn finish_cache(
+    cache: Option<&EvalCache>,
+    resilience: &mut ResilienceReport,
+) -> (Option<CacheStats>, Vec<Violation>) {
+    let Some(cache) = cache else {
+        return (None, Vec::new());
+    };
+    let mut diagnostics = Vec::new();
+    if let Err(e) = cache.save() {
+        diagnostics.push(cache_violation("CACHE.IO", format!("snapshot failed: {e}")));
+    }
+    for event in cache.events() {
+        let rule_id = match event.kind {
+            CacheEventKind::Corrupt => "CACHE.CORRUPT",
+            CacheEventKind::Invalidated => "CACHE.INVALIDATED",
+            CacheEventKind::Io => "CACHE.IO",
+        };
+        diagnostics.push(cache_violation(rule_id, event.detail));
+    }
+    for v in &diagnostics {
+        resilience.record("cache", &v.rule_id, v.message.clone());
+    }
+    (Some(cache.stats()), diagnostics)
+}
+
+/// A degraded-severity lint for one cache incident.
+fn cache_violation(rule_id: &str, message: String) -> Violation {
+    Violation {
+        rule_id: rule_id.to_string(),
+        kind: RuleKind::Lint,
+        severity: Severity::Degraded,
+        layer: None,
+        scope: Some("cache".to_string()),
+        rects: Vec::new(),
+        found: None,
+        required: None,
+        message,
+    }
 }
 
 /// Turns a failing verification report into a flow error; passing reports
@@ -565,6 +641,9 @@ fn run_flow(
 ) -> Result<FlowOutcome, FlowError> {
     let start = Instant::now();
     let mut opt = Optimizer::new(tech);
+    if let Some(cache) = open_cache(&options.cache, tech) {
+        opt.set_cache(cache);
+    }
     let n_bins = match kind {
         FlowKind::Manual => 4,
         _ => 3,
@@ -978,6 +1057,7 @@ fn run_flow(
                 });
         let Some((gate_name, n_errors, first, scopes)) = failure else {
             resilience.absorb_ledger(&ledger);
+            let (cache_stats, cache_diagnostics) = finish_cache(opt.cache(), &mut resilience);
             return Ok(FlowOutcome {
                 kind,
                 realization: Realization {
@@ -993,6 +1073,8 @@ fn run_flow(
                 verify,
                 erc,
                 resilience,
+                cache: cache_stats,
+                cache_diagnostics,
             });
         };
         if gate_attempt >= budgets.gate_attempts {

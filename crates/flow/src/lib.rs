@@ -39,6 +39,7 @@ pub use flows::{
     conventional_flow, manual_flow, optimized_flow, optimized_flow_resilient, optimized_flow_with,
     FlowKind, FlowOptions, FlowOutcome, VerifyPolicy,
 };
+pub use prima_cache::{CachePolicy, CacheStats};
 pub use prima_core::{FaultPlan, Health, RepairBudgets, ResilienceReport};
 
 /// Errors from circuit assembly and flow execution.

@@ -286,6 +286,21 @@ impl Grid {
     }
 }
 
+impl prima_cache::Fingerprintable for Point {
+    fn feed(&self, h: &mut prima_cache::FpHasher) {
+        h.write_i64(self.x);
+        h.write_i64(self.y);
+    }
+}
+
+impl prima_cache::Fingerprintable for Rect {
+    fn feed(&self, h: &mut prima_cache::FpHasher) {
+        h.write_tag("Rect");
+        self.lo.feed(h);
+        self.hi.feed(h);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -639,6 +639,93 @@ pub(crate) fn arrange(pattern: PlacementPattern, devices: &[DeviceSpec], nf: u32
     }
 }
 
+// ---------------------------------------------------------------------------
+// Content fingerprints (prima-cache). PrimitiveLayout's wiring maps are fed
+// in sorted key order so the hash is independent of HashMap iteration.
+
+use prima_cache::{Fingerprintable, FpHasher};
+
+impl Fingerprintable for DeviceSpec {
+    fn feed(&self, h: &mut FpHasher) {
+        h.write_tag("DeviceSpec");
+        h.write_str(&self.name);
+        self.polarity.feed(h);
+        h.write_str(&self.drain);
+        h.write_str(&self.gate);
+        h.write_str(&self.source);
+        h.write_u32(self.ratio);
+    }
+}
+
+impl Fingerprintable for PrimitiveSpec {
+    fn feed(&self, h: &mut FpHasher) {
+        h.write_tag("PrimitiveSpec");
+        h.write_str(&self.name);
+        self.devices.feed(h);
+    }
+}
+
+impl Fingerprintable for PlacementPattern {
+    fn feed(&self, h: &mut FpHasher) {
+        h.write_u8(match self {
+            PlacementPattern::Abba => 0,
+            PlacementPattern::Abab => 1,
+            PlacementPattern::Aabb => 2,
+        });
+    }
+}
+
+impl Fingerprintable for CellConfig {
+    fn feed(&self, h: &mut FpHasher) {
+        h.write_tag("CellConfig");
+        h.write_u32(self.nfin);
+        h.write_u32(self.nf);
+        h.write_u32(self.m);
+        self.pattern.feed(h);
+        h.write_bool(self.dummies);
+        h.write_bool(self.mesh);
+    }
+}
+
+impl Fingerprintable for DeviceGeometry {
+    fn feed(&self, h: &mut FpHasher) {
+        h.write_tag("DeviceGeometry");
+        h.write_str(&self.name);
+        self.polarity.feed(h);
+        for v in [
+            self.w_m,
+            self.l_m,
+            self.delta_vth,
+            self.mobility_scale,
+            self.inv_sa_mean,
+            self.sc_mean_nm,
+            self.centroid_x_nm,
+        ] {
+            h.write_f64(v);
+        }
+    }
+}
+
+impl Fingerprintable for PrimitiveLayout {
+    fn feed(&self, h: &mut FpHasher) {
+        h.write_tag("PrimitiveLayout");
+        h.write_str(&self.primitive);
+        self.config.feed(h);
+        self.bbox.feed(h);
+        self.devices.feed(h);
+        let mut net_names: Vec<&String> = self.nets.keys().collect();
+        net_names.sort();
+        h.write_u64(net_names.len() as u64);
+        for name in net_names {
+            h.write_str(name);
+            if let Some(w) = self.nets.get(name) {
+                w.feed(h);
+            }
+        }
+        h.write_str_u32_map(&self.parallel_wires);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -127,6 +127,35 @@ pub struct NetParasitics {
     pub n_parallel: u32,
 }
 
+impl prima_cache::Fingerprintable for NetAttachment {
+    fn feed(&self, h: &mut prima_cache::FpHasher) {
+        h.write_u32(self.count);
+        h.write_i64(self.stub_len_nm);
+    }
+}
+
+impl prima_cache::Fingerprintable for NetWiring {
+    fn feed(&self, h: &mut prima_cache::FpHasher) {
+        h.write_tag("NetWiring");
+        h.write_str(&self.net);
+        self.attachment.feed(h);
+        h.write_i64(self.trunk_len_nm);
+        h.write_i64(self.span_nm);
+        h.write_u32(self.base_wires);
+        h.write_f64(self.junction_c_f);
+        h.write_usize(self.n_regions);
+        for v in [
+            self.m1_r_per_um,
+            self.m1_c_per_um,
+            self.m2_r_per_um,
+            self.m2_c_per_um,
+            self.via_r,
+        ] {
+            h.write_f64(v);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -806,6 +806,144 @@ impl Technology {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Content fingerprints (prima-cache). Every field of every sub-struct is fed:
+// a parameter the evaluator never reads costs one spurious invalidation, but
+// a parameter missed here would serve stale results after a PDK edit.
+
+use prima_cache::{Fingerprintable, FpHasher};
+
+impl Fingerprintable for FinGeometry {
+    fn feed(&self, h: &mut FpHasher) {
+        h.write_tag("FinGeometry");
+        for v in [
+            self.fin_pitch,
+            self.fin_width,
+            self.weff_per_fin,
+            self.poly_pitch,
+            self.gate_length,
+            self.diff_extension,
+            self.cell_height_overhead,
+            self.cell_width_overhead,
+        ] {
+            h.write_i64(v);
+        }
+    }
+}
+
+impl Fingerprintable for RouteDir {
+    fn feed(&self, h: &mut FpHasher) {
+        h.write_u8(match self {
+            RouteDir::Horizontal => 0,
+            RouteDir::Vertical => 1,
+        });
+    }
+}
+
+impl Fingerprintable for MetalLayer {
+    fn feed(&self, h: &mut FpHasher) {
+        h.write_tag("MetalLayer");
+        h.write_str(&self.name);
+        self.dir.feed(h);
+        h.write_i64(self.pitch);
+        h.write_i64(self.min_width);
+        h.write_f64(self.r_ohm_per_um);
+        h.write_f64(self.c_f_per_um);
+    }
+}
+
+impl Fingerprintable for LdeParams {
+    fn feed(&self, h: &mut FpHasher) {
+        h.write_tag("LdeParams");
+        for v in [
+            self.kvth_lod,
+            self.kmu_lod,
+            self.kvth_wpe,
+            self.sc_offset,
+            self.inv_sa_ref,
+        ] {
+            h.write_f64(v);
+        }
+    }
+}
+
+impl Fingerprintable for VariationParams {
+    fn feed(&self, h: &mut FpHasher) {
+        h.write_tag("VariationParams");
+        h.write_f64(self.avth);
+        h.write_f64(self.vth_gradient_per_um);
+    }
+}
+
+impl Fingerprintable for LayerRule {
+    fn feed(&self, h: &mut FpHasher) {
+        h.write_tag("LayerRule");
+        h.write_str(&self.layer);
+        h.write_i64(self.min_width);
+        h.write_i64(self.min_space);
+        h.write_i64(self.min_area_nm2);
+    }
+}
+
+impl Fingerprintable for ViaRule {
+    fn feed(&self, h: &mut FpHasher) {
+        h.write_tag("ViaRule");
+        h.write_str(&self.name);
+        h.write_i64(self.cut);
+        h.write_i64(self.enclosure);
+    }
+}
+
+impl Fingerprintable for GridRule {
+    fn feed(&self, h: &mut FpHasher) {
+        h.write_tag("GridRule");
+        h.write_str(&self.layer);
+        h.write_i64(self.pitch);
+        h.write_i64(self.offset);
+    }
+}
+
+impl Fingerprintable for DesignRules {
+    fn feed(&self, h: &mut FpHasher) {
+        h.write_tag("DesignRules");
+        h.write_i64(self.grid_nm);
+        self.feol.feed(h);
+        self.metal.feed(h);
+        self.vias.feed(h);
+        self.grids.feed(h);
+    }
+}
+
+impl Fingerprintable for ElectricalRules {
+    fn feed(&self, h: &mut FpHasher) {
+        h.write_tag("ElectricalRules");
+        h.write_f64(self.em_ma_per_um);
+        self.em_ma_per_cut.feed(h);
+        h.write_f64(self.ir_frac_vdd);
+        h.write_i64(self.max_tap_distance_nm);
+        h.write_i64(self.sym_tolerance_nm);
+    }
+}
+
+impl Fingerprintable for Technology {
+    fn feed(&self, h: &mut FpHasher) {
+        h.write_tag("Technology");
+        h.write_str(&self.name);
+        h.write_f64(self.vdd);
+        self.fin.feed(h);
+        self.metals.feed(h);
+        self.via_r.feed(h);
+        h.write_f64(self.via_c);
+        self.lde_n.feed(h);
+        self.lde_p.feed(h);
+        self.variation.feed(h);
+        self.nmos.feed(h);
+        self.pmos.feed(h);
+        self.rules.feed(h);
+        self.electrical.feed(h);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

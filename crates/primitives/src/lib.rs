@@ -43,6 +43,7 @@
 
 mod bias;
 mod circuit;
+mod fingerprint;
 mod library;
 mod metrics;
 mod montecarlo;
@@ -50,6 +51,7 @@ mod testbench;
 
 pub use bias::Bias;
 pub use circuit::{as_subcircuit, ExternalWire, LayoutView};
+pub use fingerprint::{external_wires_fingerprint, TESTBENCH_VERSION};
 pub use library::{Library, PrimitiveClass, PrimitiveDef, TuningTerminal};
 pub use metrics::{Metric, MetricKind, MetricValues};
 pub use montecarlo::{mc_offset, McOffset};

@@ -588,6 +588,16 @@ impl Library {
         self.defs.iter()
     }
 
+    /// Replaces the entry with `def`'s name, or appends it. This is how a
+    /// design iterates on one primitive's spec: an incremental re-run then
+    /// re-evaluates only the candidates whose content fingerprint changed.
+    pub fn upsert(&mut self, def: PrimitiveDef) {
+        match self.defs.iter_mut().find(|d| d.name == def.name) {
+            Some(slot) => *slot = def,
+            None => self.defs.push(def),
+        }
+    }
+
     /// Number of entries.
     pub fn len(&self) -> usize {
         self.defs.len()

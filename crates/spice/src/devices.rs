@@ -438,6 +438,38 @@ fn softplus(x: f64) -> (f64, f64) {
     }
 }
 
+impl prima_cache::Fingerprintable for FetPolarity {
+    fn feed(&self, h: &mut prima_cache::FpHasher) {
+        h.write_u8(match self {
+            FetPolarity::Nmos => 0,
+            FetPolarity::Pmos => 1,
+        });
+    }
+}
+
+impl prima_cache::Fingerprintable for FetModel {
+    fn feed(&self, h: &mut prima_cache::FpHasher) {
+        h.write_tag("FetModel");
+        self.polarity.feed(h);
+        for v in [
+            self.vth0,
+            self.kp,
+            self.lambda,
+            self.n_slope,
+            self.gamma,
+            self.phi,
+            self.cox,
+            self.cgso,
+            self.cgdo,
+            self.cj,
+            self.cjsw,
+            self.temp_c,
+        ] {
+            h.write_f64(v);
+        }
+    }
+}
+
 /// Numerically safe logistic function.
 #[inline]
 fn sigmoid(x: f64) -> f64 {
