@@ -6,8 +6,8 @@
 //!   cargo run --release -p prima-bench --bin report -- fast    # skip slow rows
 //!
 //! Exhibits: fig2 (≡ table1), table2, fig3, fig5, table3, table4, fig6,
-//! table5, table6, table7, table8, ablations, verify, erc, resilience,
-//! cache.
+//! table5, table6, table7, table8, ablations, schem, verify, erc,
+//! resilience, cache.
 
 use prima_bench::*;
 
@@ -24,6 +24,7 @@ const EXHIBITS: &[&str] = &[
     "table7",
     "table8",
     "ablations",
+    "schem",
     "verify",
     "erc",
     "resilience",
@@ -89,6 +90,9 @@ fn main() {
     }
     if run("ablations") {
         println!("{}", ablations(&env));
+    }
+    if run("schem") {
+        println!("{}", schem_summary(&env));
     }
     if run("verify") {
         println!("{}", verify_summary(&env));

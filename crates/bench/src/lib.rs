@@ -26,7 +26,8 @@ use prima_core::{enumerate_configs, reconcile, route_wire, GlobalRoute, Optimize
 use prima_flow::circuits::{CsAmp, FiveTOta, RoVco, StrongArm};
 use prima_flow::{
     conventional_flow, manual_flow, optimized_flow, optimized_flow_resilient, optimized_flow_with,
-    CachePolicy, FaultPlan, FlowOptions, Realization, RepairBudgets, VerifyPolicy,
+    schem_preflight, CachePolicy, FaultPlan, FlowError, FlowOptions, Realization, RepairBudgets,
+    VerifyPolicy,
 };
 use prima_layout::{generate, CellConfig, PlacementPattern};
 use prima_pdk::Technology;
@@ -1247,6 +1248,162 @@ pub fn erc_summary(env: &Env) -> String {
         "\nall gates clean: port widths are reconciled above the EM-safe floor\n\
          during Algorithm 2, supply drops stay inside the IR budget, and every\n\
          declared symmetry holds within the matching tolerance."
+    )
+    .unwrap();
+    out
+}
+
+/// Schematic static-analysis (prima-schem) exhibit. Two halves:
+///
+/// * every benchmark circuit's preflight runs clean, and the table shows
+///   what a clean preflight costs (microseconds — the <10 ms budget the
+///   flows pay before any layout or simulation work);
+/// * three seeded-defect variants of the CS amplifier go through the
+///   gate-forced-on optimized flow, and each row shows the exact
+///   `SCHEM.*` rule that killed it plus the rejection latency —
+///   contrasted against one cold optimized run so the fail-fast claim
+///   ("invalid requests die in microseconds, not after seconds of
+///   simulation") is a measured number, not prose.
+pub fn schem_summary(env: &Env) -> String {
+    let Env { tech, lib } = env;
+    let mut out = String::new();
+    writeln!(
+        out,
+        "=== Schem: schematic preflight cost + fail-fast rejection ==="
+    )
+    .unwrap();
+
+    // --- clean preflight cost per benchmark ---------------------------
+    writeln!(
+        out,
+        "{:<22} {:>7} {:>7} {:>14}  checks",
+        "circuit", "nets", "viols", "preflight"
+    )
+    .unwrap();
+    let vco = RoVco::small();
+    let cases = vec![
+        (
+            "cs_amp",
+            CsAmp::spec(),
+            CsAmp::biases(tech, lib).expect("biases"),
+        ),
+        (
+            "ota5t",
+            FiveTOta::spec(),
+            FiveTOta::biases(tech, lib).expect("biases"),
+        ),
+        (
+            "strongarm",
+            StrongArm::spec(),
+            StrongArm::biases(tech, lib).expect("biases"),
+        ),
+        (
+            "vco (4-stage)",
+            vco.spec(),
+            vco.biases(tech, lib).expect("biases"),
+        ),
+    ];
+    for (name, spec, biases) in &cases {
+        // Median of repeated runs: one preflight is fast enough that a
+        // single timing would mostly measure scheduler noise.
+        const REPS: usize = 25;
+        let mut samples = Vec::with_capacity(REPS);
+        let mut report = schem_preflight(tech, lib, spec, Some(biases));
+        for _ in 0..REPS {
+            let t = Instant::now();
+            report = schem_preflight(tech, lib, spec, Some(biases));
+            samples.push(t.elapsed());
+        }
+        samples.sort();
+        let median = samples[REPS / 2];
+        writeln!(
+            out,
+            "{:<22} {:>7} {:>7} {:>11.1} µs  {} checks",
+            name,
+            report.nets_checked,
+            report.violations.len(),
+            median.as_secs_f64() * 1e6,
+            report.checks_run.len()
+        )
+        .unwrap();
+    }
+
+    // --- seeded defects: rejection latency vs a cold run --------------
+    let gate_on = FlowOptions {
+        verify: VerifyPolicy::On,
+        ..FlowOptions::default()
+    };
+    let base_biases = CsAmp::biases(tech, lib).expect("biases");
+
+    let cold_start = Instant::now();
+    optimized_flow_with(tech, lib, &CsAmp::spec(), &base_biases, 11, gate_on.clone())
+        .expect("clean cs_amp flow");
+    let cold = cold_start.elapsed();
+
+    let dangling = {
+        let mut spec = CsAmp::spec();
+        for (port, net) in &mut spec.instances[1].conn {
+            if port == "out" {
+                *net = "vuot".to_string(); // typo'd output net
+            }
+        }
+        spec
+    };
+    let unfactorable = {
+        let mut spec = CsAmp::spec();
+        spec.instances[0].total_fins = 7; // prime: no nfin*nf*m factoring
+        spec
+    };
+    let overdriven = {
+        let mut biases = base_biases.clone();
+        if let Some(b) = biases.get_mut("m1") {
+            b.set_v("vin", 5.0); // 5 V on a sub-volt finFET gate
+        }
+        biases
+    };
+    let defects: Vec<(&str, _, _)> = vec![
+        ("dangling output net", dangling, base_biases.clone()),
+        ("unfactorable sizing", unfactorable, base_biases.clone()),
+        ("5 V input bias", CsAmp::spec(), overdriven),
+    ];
+
+    writeln!(out, "\nseeded cs_amp defects (gate forced on):").unwrap();
+    writeln!(
+        out,
+        "{:<22} {:<16} {:>14} {:>12}",
+        "defect", "rule", "rejected in", "vs cold run"
+    )
+    .unwrap();
+    for (name, spec, biases) in &defects {
+        let t = Instant::now();
+        let result = optimized_flow_with(tech, lib, spec, biases, 11, gate_on.clone());
+        let elapsed = t.elapsed();
+        match result {
+            Err(FlowError::Verify { first, .. }) => {
+                let rule = first
+                    .split_whitespace()
+                    .find(|w| w.starts_with("SCHEM."))
+                    .unwrap_or("SCHEM.?")
+                    .trim_end_matches(':');
+                writeln!(
+                    out,
+                    "{:<22} {:<16} {:>11.1} µs {:>11.0}x",
+                    name,
+                    rule,
+                    elapsed.as_secs_f64() * 1e6,
+                    cold.as_secs_f64() / elapsed.as_secs_f64().max(1e-9)
+                )
+                .unwrap();
+            }
+            Ok(_) => writeln!(out, "{name:<22} NOT REJECTED (gate hole)").unwrap(),
+            Err(e) => writeln!(out, "{name:<22} wrong error: {e}").unwrap(),
+        }
+    }
+    writeln!(
+        out,
+        "\ncold optimized cs_amp run: {:.2} s; every defect dies in the\n\
+         preflight before the optimizer (and its simulation counter) exists.",
+        cold.as_secs_f64()
     )
     .unwrap();
     out

@@ -21,7 +21,7 @@
 //!
 //! This crate is dependency-free (std only) and sits below every other
 //! crate in the workspace.
-#![cfg_attr(test, allow(clippy::unwrap_used))]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod fingerprint;
 pub mod key;

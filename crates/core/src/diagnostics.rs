@@ -254,6 +254,46 @@ impl VerifyReport {
         self.checks_run.push(check.to_string());
         self.violations.append(&mut violations);
     }
+
+    /// Puts the report into canonical form: violations in the stable
+    /// [`sort_dedupe`] order with exact duplicates removed. Every gate
+    /// (verify, erc, schem) finalizes before returning, so repeated runs —
+    /// and runs over shuffled input orders — produce identical reports.
+    pub fn finalize(&mut self) {
+        sort_dedupe(&mut self.violations);
+    }
+}
+
+/// Stable severity rank: errors first, then warnings, then degradations —
+/// the order a reader triages them in.
+fn severity_rank(s: Severity) -> u8 {
+    match s {
+        Severity::Error => 0,
+        Severity::Warning => 1,
+        Severity::Degraded => 2,
+    }
+}
+
+/// Sorts a violation list into a stable canonical order — severity
+/// (errors first), then rule id, scope, layer, measured values, message —
+/// and removes exact duplicates. Input order never leaks through: two gate
+/// runs that discover the same findings in different orders (parallel
+/// sweeps, shuffled instance iteration) finalize to the same list, and a
+/// finding reported twice by overlapping checks appears once.
+pub fn sort_dedupe(violations: &mut Vec<Violation>) {
+    violations.sort_by(|a, b| {
+        severity_rank(a.severity)
+            .cmp(&severity_rank(b.severity))
+            .then_with(|| a.rule_id.cmp(&b.rule_id))
+            .then_with(|| a.scope.cmp(&b.scope))
+            .then_with(|| a.layer.cmp(&b.layer))
+            .then_with(|| a.found.cmp(&b.found))
+            .then_with(|| a.required.cmp(&b.required))
+            .then_with(|| a.message.cmp(&b.message))
+            .then_with(|| (a.kind as u8).cmp(&(b.kind as u8)))
+            .then_with(|| a.rects.len().cmp(&b.rects.len()))
+    });
+    violations.dedup();
 }
 
 #[cfg(test)]
@@ -298,6 +338,49 @@ mod tests {
     fn violation_display_includes_measurement() {
         let s = v("EM.WIDTH", RuleKind::Em, Severity::Error).to_string();
         assert_eq!(s, "EM.WIDTH: test finding (found 3, required 2)");
+    }
+
+    #[test]
+    fn sort_dedupe_orders_by_severity_then_rule_and_drops_duplicates() {
+        let mut list = vec![
+            v("SYM.MIRROR", RuleKind::Symmetry, Severity::Warning),
+            v("EM.WIDTH", RuleKind::Em, Severity::Error),
+            v("EM.WIDTH", RuleKind::Em, Severity::Error),
+            v("EM.VIA", RuleKind::Em, Severity::Error),
+        ];
+        sort_dedupe(&mut list);
+        assert_eq!(list.len(), 3, "exact duplicate removed");
+        assert_eq!(list[0].rule_id, "EM.VIA");
+        assert_eq!(list[1].rule_id, "EM.WIDTH");
+        assert_eq!(list[2].rule_id, "SYM.MIRROR", "warnings sort last");
+    }
+
+    #[test]
+    fn sort_dedupe_is_input_order_independent() {
+        let items = vec![
+            v("A.ONE", RuleKind::Lint, Severity::Warning),
+            v("B.TWO", RuleKind::Short, Severity::Error),
+            v("A.TWO", RuleKind::Lint, Severity::Error),
+            v("B.TWO", RuleKind::Short, Severity::Error),
+        ];
+        let mut fwd = items.clone();
+        let mut rev: Vec<Violation> = items.into_iter().rev().collect();
+        sort_dedupe(&mut fwd);
+        sort_dedupe(&mut rev);
+        assert_eq!(fwd, rev);
+    }
+
+    #[test]
+    fn finalize_canonicalizes_a_report() {
+        let mut report = VerifyReport::default();
+        report.absorb("x", vec![v("Z.RULE", RuleKind::Lint, Severity::Warning)]);
+        report.absorb("y", vec![v("A.RULE", RuleKind::Lint, Severity::Error)]);
+        report.absorb("y2", vec![v("A.RULE", RuleKind::Lint, Severity::Error)]);
+        report.finalize();
+        assert_eq!(report.violations.len(), 2);
+        assert_eq!(report.violations[0].rule_id, "A.RULE");
+        // checks_run keeps its run order; only findings are canonicalized.
+        assert_eq!(report.checks_run, vec!["x", "y", "y2"]);
     }
 
     #[test]

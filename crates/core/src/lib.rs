@@ -60,7 +60,7 @@ use prima_primitives::{
 
 pub use accounting::{Phase, SimCounter};
 pub use cost::{cost_of, deviation_percent, CostBreakdown};
-pub use diagnostics::{RuleKind, Severity, VerifyReport, Violation};
+pub use diagnostics::{sort_dedupe, RuleKind, Severity, VerifyReport, Violation};
 pub use ports::{
     clamp_to_em_floor, reconcile, route_wire, GlobalRoute, PortConstraint, ReconciledNet,
 };
@@ -68,7 +68,9 @@ pub use resilience::{
     Degradation, EvalFault, EvalLedger, FaultInjector, FaultPlan, Health, LedgerEntry, NoFaults,
     RepairBudgets, RepairCursor, ResilienceReport,
 };
-pub use selection::{enumerate_configs, BinRanked, Evaluated};
+pub use selection::{
+    enumerate_configs, std_config_space, BinRanked, Evaluated, STD_M_MAX, STD_NFIN_CHOICES,
+};
 
 /// Errors from the optimization flow.
 #[derive(Debug, Clone, PartialEq)]

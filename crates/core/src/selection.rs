@@ -33,6 +33,23 @@ pub struct Evaluated {
 ///
 /// `nfin` is restricted to the given choices; `m` ranges `1..=m_max`;
 /// `nf` must land in `[2, 64]`.
+/// The `nfin` choices the flows explore — the fin-quantized unit-device
+/// heights the cell generator supports. Shared with the schematic gate so
+/// sizing legality is judged against exactly the space the flow searches.
+pub const STD_NFIN_CHOICES: &[u32] = &[2, 3, 4, 6, 8, 12, 16, 24, 32];
+
+/// The multiplier bound the flows explore (`m` in `nfin·nf·m`).
+pub const STD_M_MAX: u32 = 8;
+
+/// The standard configuration space for a primitive of `total_fins`:
+/// [`enumerate_configs`] over [`STD_NFIN_CHOICES`] and [`STD_M_MAX`]. An
+/// empty result means the sizing admits no legal `(nfin, nf, m)`
+/// decomposition — the flow would find no candidates, so the schematic
+/// gate rejects such an instance before any simulation runs.
+pub fn std_config_space(total_fins: u64) -> Vec<CellConfig> {
+    enumerate_configs(total_fins, STD_NFIN_CHOICES, STD_M_MAX)
+}
+
 pub fn enumerate_configs(total_fins: u64, nfin_choices: &[u32], m_max: u32) -> Vec<CellConfig> {
     let mut out = Vec::new();
     for &nfin in nfin_choices {

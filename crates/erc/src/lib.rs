@@ -199,5 +199,6 @@ pub fn check_erc(artifacts: &ErcArtifacts<'_>) -> VerifyReport {
             .collect::<std::collections::HashSet<_>>()
             .len(),
     );
+    report.finalize();
     report
 }

@@ -12,9 +12,9 @@ use std::time::{Duration, Instant};
 
 use prima_cache::{CacheEventKind, CachePolicy, CacheStats, EvalCache, Fingerprintable};
 use prima_core::{
-    clamp_to_em_floor, enumerate_configs, reconcile, route_wire, BinRanked, EvalLedger, Evaluated,
-    FaultInjector, FaultPlan, GlobalRoute, NoFaults, Optimizer, Phase, PortConstraint,
-    RepairBudgets, RepairCursor, ResilienceReport, RuleKind, Severity, Violation,
+    clamp_to_em_floor, reconcile, route_wire, BinRanked, EvalLedger, Evaluated, FaultInjector,
+    FaultPlan, GlobalRoute, NoFaults, Optimizer, Phase, PortConstraint, RepairBudgets,
+    RepairCursor, ResilienceReport, RuleKind, Severity, Violation,
 };
 use prima_geom::Point;
 use prima_layout::{generate, render, CellConfig, PlacementPattern, PrimitiveLayout};
@@ -31,6 +31,7 @@ use serde::{Deserialize, Serialize};
 use crate::builder::Realization;
 use crate::circuits::CircuitSpec;
 use crate::electrical::{self, ErcBuild};
+use crate::preflight;
 use crate::FlowError;
 
 /// Which flow produced a result.
@@ -119,6 +120,13 @@ pub struct FlowOutcome {
     /// parallel-route widths, per the paper's hand-off to the detailed
     /// router).
     pub detailed: DetailedResult,
+    /// Schematic preflight report (prima-schem: connectivity-graph lints,
+    /// bias/sizing legality, topology recognition), run under the verify
+    /// policy *before* any layout or simulation. A populated report is
+    /// always passing — a failing preflight aborts the flow with
+    /// [`FlowError::Verify`] in microseconds, before the optimizer is
+    /// constructed.
+    pub schem: Option<VerifyReport>,
     /// Static verification report, when the gate ran (see
     /// [`FlowOptions::verify`]). A populated report here is always passing
     /// (no error-severity findings) — unrepairable errors abort the flow
@@ -179,9 +187,12 @@ pub(crate) fn is_power_net(net: &str) -> bool {
     matches!(net, "vdd" | "vssn" | "vdd_ext")
 }
 
-/// The configuration space explored for a primitive of `total_fins`.
+/// The configuration space explored for a primitive of `total_fins` — the
+/// standard space the schematic preflight's `SCHEM.SIZE` rule validates
+/// against, so an instance that reaches the optimizer always has at least
+/// one candidate.
 fn config_space(total_fins: u64) -> Vec<CellConfig> {
-    enumerate_configs(total_fins, &[2, 3, 4, 6, 8, 12, 16, 24, 32], 8)
+    prima_core::std_config_space(total_fins)
 }
 
 /// A deterministic "default" configuration for the conventional flow: the
@@ -349,6 +360,15 @@ pub fn conventional_flow(
 ) -> Result<FlowOutcome, FlowError> {
     let start = Instant::now();
 
+    // Schematic preflight: reject malformed requests before generating any
+    // geometry. The baseline has no bias records; nominal per-class biases
+    // are library invariants and need no re-check.
+    let schem = if FlowOptions::default().verify.enabled() {
+        Some(gate(preflight::schem_preflight(tech, lib, spec, None))?)
+    } else {
+        None
+    };
+
     // Default layouts: squarest blocked configuration, untuned.
     let mut layouts: HashMap<String, PrimitiveLayout> = HashMap::new();
     for inst in &spec.instances {
@@ -449,6 +469,7 @@ pub fn conventional_flow(
 
     Ok(FlowOutcome {
         kind: FlowKind::Conventional,
+        schem,
         realization: Realization {
             layouts,
             net_wires,
@@ -640,6 +661,21 @@ fn run_flow(
     budgets: RepairBudgets,
 ) -> Result<FlowOutcome, FlowError> {
     let start = Instant::now();
+
+    // Schematic preflight: the whole lint suite costs microseconds, so a
+    // malformed request dies with exact `SCHEM.*` rule ids before the
+    // optimizer (and its simulation counter) even exists.
+    let schem = if options.verify.enabled() {
+        Some(gate(preflight::schem_preflight(
+            tech,
+            lib,
+            spec,
+            Some(biases),
+        ))?)
+    } else {
+        None
+    };
+
     let mut opt = Optimizer::new(tech);
     if let Some(cache) = open_cache(&options.cache, tech) {
         opt.set_cache(cache);
@@ -1060,6 +1096,7 @@ fn run_flow(
             let (cache_stats, cache_diagnostics) = finish_cache(opt.cache(), &mut resilience);
             return Ok(FlowOutcome {
                 kind,
+                schem: schem.clone(),
                 realization: Realization {
                     layouts: placed.chosen,
                     net_wires,

@@ -15,6 +15,11 @@
 //! * **Assembly** ([`builder`]) — expands primitive instances (schematic or
 //!   extracted layouts) into one flat simulator circuit, inserting
 //!   global-route RC on the top-level nets and supply IR resistance.
+//! * **Preflight** ([`preflight`]) — the schematic static-analysis gate
+//!   (prima-schem) every flow runs first: connectivity-graph lints, bias
+//!   and sizing legality, topology recognition. A malformed request dies
+//!   in microseconds with exact `SCHEM.*` rule ids instead of seconds
+//!   into a cold optimization run.
 
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 #![forbid(unsafe_code)]
@@ -23,6 +28,7 @@ pub mod builder;
 pub mod circuits;
 mod electrical;
 pub mod flows;
+pub mod preflight;
 
 use std::fmt;
 
@@ -39,6 +45,7 @@ pub use flows::{
     conventional_flow, manual_flow, optimized_flow, optimized_flow_resilient, optimized_flow_with,
     FlowKind, FlowOptions, FlowOutcome, VerifyPolicy,
 };
+pub use preflight::schem_preflight;
 pub use prima_cache::{CachePolicy, CacheStats};
 pub use prima_core::{FaultPlan, Health, RepairBudgets, ResilienceReport};
 

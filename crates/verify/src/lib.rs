@@ -29,7 +29,7 @@
 //! its gate.
 
 #![forbid(unsafe_code)]
-#![cfg_attr(test, allow(clippy::unwrap_used))]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 use prima_geom::{Point, Rect};
 use prima_layout::CellGeometry;
@@ -142,5 +142,6 @@ pub fn check_flow(artifacts: &FlowArtifacts<'_>) -> VerifyReport {
     report.rects_checked = rects;
 
     report.absorb("lints", lints::check_lints(&artifacts.lints));
+    report.finalize();
     report
 }
