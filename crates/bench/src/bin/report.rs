@@ -7,7 +7,7 @@
 //!
 //! Exhibits: fig2 (≡ table1), table2, fig3, fig5, table3, table4, fig6,
 //! table5, table6, table7, table8, ablations, schem, verify, erc,
-//! resilience, cache.
+//! resilience, cache, serve.
 
 use prima_bench::*;
 
@@ -29,6 +29,7 @@ const EXHIBITS: &[&str] = &[
     "erc",
     "resilience",
     "cache",
+    "serve",
 ];
 
 fn main() {
@@ -105,5 +106,8 @@ fn main() {
     }
     if run("cache") {
         println!("{}", cache_summary(&env));
+    }
+    if run("serve") {
+        println!("{}", serve_summary(&env));
     }
 }

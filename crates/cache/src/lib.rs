@@ -23,10 +23,14 @@
 //! crate in the workspace.
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod cancel;
 pub mod fingerprint;
+pub mod hub;
 pub mod key;
 pub mod store;
 
+pub use cancel::{CancelReason, CancelToken, Cancelled};
 pub use fingerprint::{Fingerprint, Fingerprintable, FpHasher};
+pub use hub::{CacheHub, Namespace};
 pub use key::{EvalKey, KEY_BYTES};
 pub use store::{CacheEvent, CacheEventKind, CachePolicy, CacheStats, EvalCache, FORMAT_VERSION};

@@ -29,7 +29,7 @@ use std::fs::{self, File, OpenOptions};
 use std::io::Write;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use crate::fingerprint::Fingerprint;
 use crate::key::{EvalKey, KEY_BYTES};
@@ -46,7 +46,7 @@ const MAX_METRICS_PER_RECORD: u32 = 4_096;
 const MAX_NAME_LEN: u32 = 4_096;
 
 /// Where (and whether) evaluation results are cached.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Default)]
 pub enum CachePolicy {
     /// No caching; every evaluation runs the testbench.
     #[default]
@@ -55,7 +55,26 @@ pub enum CachePolicy {
     MemoryOnly,
     /// Intra-run reuse plus a persistent record log at this path.
     Persistent(PathBuf),
+    /// Use an already-open cache owned by someone else (the serving layer's
+    /// per-tenant namespace, a test's shared store). The flow neither opens
+    /// nor saves it; its owner controls persistence and lifetime.
+    Shared(Arc<EvalCache>),
 }
+
+/// `Shared` compares by identity (same underlying store), the rest by value.
+impl PartialEq for CachePolicy {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (CachePolicy::Off, CachePolicy::Off) => true,
+            (CachePolicy::MemoryOnly, CachePolicy::MemoryOnly) => true,
+            (CachePolicy::Persistent(a), CachePolicy::Persistent(b)) => a == b,
+            (CachePolicy::Shared(a), CachePolicy::Shared(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+}
+
+impl Eq for CachePolicy {}
 
 /// Counters describing one cache's lifetime (monotonic within a run).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -113,11 +132,16 @@ struct Entry {
     values: Vec<(String, f64)>,
     /// Serialized record size, for the bytes counter.
     bytes: u64,
+    /// Clock-LRU reference bit: set on every hit, cleared when the clock
+    /// hand passes. An entry is only evicted with its bit clear, so anything
+    /// touched since the last sweep survives one full rotation.
+    referenced: bool,
 }
 
 #[derive(Default)]
 struct Shard {
     map: HashMap<EvalKey, Entry>,
+    /// The clock ring: insertion order, with second-chance requeues.
     order: VecDeque<EvalKey>,
 }
 
@@ -172,6 +196,11 @@ impl EvalCache {
             CachePolicy::Off => (false, None),
             CachePolicy::MemoryOnly => (true, None),
             CachePolicy::Persistent(p) => (true, Some(p)),
+            // A shared policy names an already-open store; callers wanting
+            // that store should use [`EvalCache::resolve`]. Constructing a
+            // fresh cache from it degrades to memory-only rather than
+            // aliasing (a cache must never be worse than no cache).
+            CachePolicy::Shared(_) => (true, None),
         };
         let cache = EvalCache {
             enabled,
@@ -195,6 +224,18 @@ impl EvalCache {
         cache
     }
 
+    /// Resolves a policy to a usable cache handle: a [`CachePolicy::Shared`]
+    /// policy yields the shared store itself (ignoring `tech_fp` /
+    /// `testbench_version`, which the shared store's owner fixed at open
+    /// time — `EvalKey` embeds both, so a mismatched caller simply misses);
+    /// every other policy opens a fresh cache.
+    pub fn resolve(policy: CachePolicy, tech_fp: Fingerprint, testbench_version: u32) -> Arc<Self> {
+        match policy {
+            CachePolicy::Shared(cache) => cache,
+            other => Arc::new(Self::open(other, tech_fp, testbench_version)),
+        }
+    }
+
     /// Fingerprint of the technology this cache is keyed under.
     pub fn tech_fingerprint(&self) -> Fingerprint {
         self.tech_fp
@@ -212,12 +253,13 @@ impl EvalCache {
             return None;
         }
         let shard = self.shard_of(key);
-        let guard = match self.shards[shard].lock() {
+        let mut guard = match self.shards[shard].lock() {
             Ok(g) => g,
             Err(poisoned) => poisoned.into_inner(),
         };
-        match guard.map.get(key) {
+        match guard.map.get_mut(key) {
             Some(entry) => {
+                entry.referenced = true; // LRU: protect from the next sweep
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(entry.values.iter().cloned().collect())
             }
@@ -307,32 +349,52 @@ impl EvalCache {
     }
 
     /// Inserts without touching the log; returns `false` when already present.
+    ///
+    /// Eviction is clock (second-chance) LRU: the hand walks the ring from
+    /// the front; a referenced entry has its bit cleared and is requeued, an
+    /// unreferenced one is evicted. Recently-hit entries therefore survive a
+    /// full rotation, which is what keeps one tenant's hot working set alive
+    /// while another tenant's one-shot keys stream through the shard.
     fn insert(&self, key: EvalKey, values: Vec<(String, f64)>, record_bytes: u64) -> bool {
         let shard = self.shard_of(&key);
         let mut guard = match self.shards[shard].lock() {
             Ok(g) => g,
             Err(poisoned) => poisoned.into_inner(),
         };
-        if guard.map.contains_key(&key) {
+        let shard = &mut *guard;
+        if shard.map.contains_key(&key) {
             return false;
         }
-        while guard.map.len() >= self.shard_cap {
-            let Some(victim) = guard.order.pop_front() else {
+        while shard.map.len() >= self.shard_cap {
+            let Some(victim) = shard.order.pop_front() else {
                 break;
             };
-            if let Some(evicted) = guard.map.remove(&victim) {
-                self.evictions.fetch_add(1, Ordering::Relaxed);
-                self.bytes.fetch_sub(evicted.bytes, Ordering::Relaxed);
+            match shard.map.get_mut(&victim) {
+                Some(entry) if entry.referenced => {
+                    // Second chance: clear the bit, rotate to the back.
+                    entry.referenced = false;
+                    shard.order.push_back(victim);
+                }
+                Some(_) => {
+                    if let Some(evicted) = shard.map.remove(&victim) {
+                        self.evictions.fetch_add(1, Ordering::Relaxed);
+                        self.bytes.fetch_sub(evicted.bytes, Ordering::Relaxed);
+                    }
+                }
+                // Stale ring slot (shouldn't happen; map and ring are kept
+                // in lockstep) — just drop it.
+                None => {}
             }
         }
-        guard.map.insert(
+        shard.map.insert(
             key,
             Entry {
                 values,
                 bytes: record_bytes,
+                referenced: false,
             },
         );
-        guard.order.push_back(key);
+        shard.order.push_back(key);
         self.bytes.fetch_add(record_bytes, Ordering::Relaxed);
         true
     }
@@ -614,6 +676,53 @@ mod tests {
         assert!(s.evictions > 0, "expected evictions past capacity");
         let held: u64 = 200 - s.evictions;
         assert!(held <= 16, "held {held} entries above total capacity");
+    }
+
+    #[test]
+    fn eviction_is_lru_not_fifo() {
+        // Total capacity 32 over 16 shards → 2 entries per shard.
+        let c = EvalCache::open_with_capacity(CachePolicy::MemoryOnly, Fingerprint(1, 2), 1, 32);
+        // Three keys that collide into one shard.
+        let mut same_shard = Vec::new();
+        let mut seed = 0u64;
+        let want = c.shard_of(&key(0));
+        while same_shard.len() < 3 {
+            if c.shard_of(&key(seed)) == want {
+                same_shard.push(key(seed));
+            }
+            seed += 1;
+        }
+        let (oldest, middle, newcomer) = (same_shard[0], same_shard[1], same_shard[2]);
+        c.store(oldest, &metrics(1));
+        c.store(middle, &metrics(2));
+        // Touch the oldest entry: under FIFO it would still be the next
+        // victim; under LRU the untouched middle entry is.
+        assert!(c.lookup(&oldest).is_some());
+        c.store(newcomer, &metrics(3));
+        assert!(c.lookup(&oldest).is_some(), "recently-used entry evicted");
+        assert!(c.lookup(&middle).is_none(), "LRU victim survived");
+        assert!(c.lookup(&newcomer).is_some());
+        assert!(c.stats().evictions >= 1);
+    }
+
+    #[test]
+    fn shared_policy_resolves_to_same_store() {
+        let base = Arc::new(EvalCache::open(
+            CachePolicy::MemoryOnly,
+            Fingerprint(1, 2),
+            1,
+        ));
+        base.store(key(5), &metrics(5));
+        let policy = CachePolicy::Shared(Arc::clone(&base));
+        assert_eq!(policy, policy.clone());
+        assert_ne!(policy, CachePolicy::MemoryOnly);
+        let resolved = EvalCache::resolve(policy, Fingerprint(1, 2), 1);
+        assert!(Arc::ptr_eq(&resolved, &base));
+        assert_eq!(resolved.lookup(&key(5)).unwrap(), metrics(5));
+        // Non-shared policies open a fresh store.
+        let fresh = EvalCache::resolve(CachePolicy::MemoryOnly, Fingerprint(1, 2), 1);
+        assert!(!Arc::ptr_eq(&fresh, &base));
+        assert!(fresh.lookup(&key(5)).is_none());
     }
 
     #[test]

@@ -44,6 +44,7 @@ pub mod diagnostics;
 pub mod ports;
 pub mod resilience;
 pub mod selection;
+pub mod serve;
 pub mod tuning;
 
 use std::collections::HashMap;
@@ -57,6 +58,8 @@ use prima_primitives::{
     evaluate_all, external_wires_fingerprint, Bias, EvalError, ExternalWire, LayoutView,
     MetricValues, PrimitiveDef, TESTBENCH_VERSION,
 };
+use prima_spice::analysis::AnalysisError;
+use prima_spice::{with_solve_ctrl, SolveCtrl};
 
 pub use accounting::{Phase, SimCounter};
 pub use cost::{cost_of, deviation_percent, CostBreakdown};
@@ -71,6 +74,13 @@ pub use resilience::{
 pub use selection::{
     enumerate_configs, std_config_space, BinRanked, Evaluated, STD_M_MAX, STD_NFIN_CHOICES,
 };
+pub use serve::{RequestReport, ServeOutcome, ServeReport};
+
+// The serving vocabulary: cancellation lives in `prima-cache` (the base
+// crate every layer can see) and solver limits in `prima-spice`; both are
+// re-exported here because core is where flows and services import from.
+pub use prima_cache::{CancelReason, CancelToken, Cancelled};
+pub use prima_spice::SolverLimits;
 
 /// Errors from the optimization flow.
 #[derive(Debug, Clone, PartialEq)]
@@ -84,6 +94,9 @@ pub enum OptError {
         /// What stage ran dry.
         stage: String,
     },
+    /// The attached [`CancelToken`] tripped (explicit cancel or deadline);
+    /// the optimization was abandoned at a candidate or solver boundary.
+    Cancelled(Cancelled),
 }
 
 impl fmt::Display for OptError {
@@ -92,6 +105,7 @@ impl fmt::Display for OptError {
             OptError::Eval(e) => write!(f, "evaluation failed: {e}"),
             OptError::Layout(e) => write!(f, "layout generation failed: {e}"),
             OptError::NoCandidates { stage } => write!(f, "no candidates in {stage}"),
+            OptError::Cancelled(c) => write!(f, "optimization abandoned: {c}"),
         }
     }
 }
@@ -100,7 +114,19 @@ impl std::error::Error for OptError {}
 
 impl From<EvalError> for OptError {
     fn from(e: EvalError) -> Self {
+        // A cancellation surfacing through the testbench's analysis stack is
+        // a control-flow signal, not an evaluation failure: unwrap it so it
+        // can never be ledgered, cached, or retried as one.
+        if let EvalError::Analysis(AnalysisError::Cancelled(c)) = &e {
+            return OptError::Cancelled(*c);
+        }
         OptError::Eval(e)
+    }
+}
+
+impl From<Cancelled> for OptError {
+    fn from(c: Cancelled) -> Self {
+        OptError::Cancelled(c)
     }
 }
 
@@ -117,6 +143,8 @@ pub struct Optimizer<'t> {
     tech: &'t Technology,
     counter: SimCounter,
     cache: Option<Arc<EvalCache>>,
+    /// Solver limits + cancel token installed around every evaluation.
+    ctrl: SolveCtrl,
     /// Maximum parallel wires explored during primitive tuning.
     pub max_tuning_wires: u32,
     /// Maximum parallel routes explored during port optimization.
@@ -130,6 +158,7 @@ impl<'t> Optimizer<'t> {
             tech,
             counter: SimCounter::new(),
             cache: None,
+            ctrl: SolveCtrl::default(),
             max_tuning_wires: 7,
             max_port_routes: 8,
         }
@@ -156,6 +185,23 @@ impl<'t> Optimizer<'t> {
         self.cache.as_deref()
     }
 
+    /// Overrides the solver iteration limits every evaluation runs under.
+    pub fn set_solver_limits(&mut self, limits: SolverLimits) {
+        self.ctrl.limits = limits;
+    }
+
+    /// Attaches a cancel token, checked at every candidate boundary and —
+    /// via the ambient solver scope — at every Newton iteration inside the
+    /// testbenches.
+    pub fn set_cancel(&mut self, token: CancelToken) {
+        self.ctrl.cancel = Some(token);
+    }
+
+    /// The attached cancel token, if any.
+    pub fn cancel(&self) -> Option<&CancelToken> {
+        self.ctrl.cancel.as_ref()
+    }
+
     /// Runs one testbench evaluation through the cache, when one is attached.
     ///
     /// A hit substitutes the stored metric values bit-for-bit and records no
@@ -173,6 +219,11 @@ impl<'t> Optimizer<'t> {
         ext: &HashMap<String, ExternalWire>,
         phase: Phase,
     ) -> Result<MetricValues, OptError> {
+        // Candidate boundary: a cancelled request stops before touching the
+        // cache or spending a single simulation.
+        if let Some(token) = &self.ctrl.cancel {
+            token.check()?;
+        }
         let key = self
             .cache
             .as_deref()
@@ -190,7 +241,13 @@ impl<'t> Optimizer<'t> {
                 return Ok(values);
             }
         }
-        let values = evaluate_all(self.tech, def, view, bias, ext)?;
+        // The ambient scope makes every solver the testbench constructs on
+        // *this thread* honor our limits and token; `with_solve_ctrl` must
+        // therefore be re-entered on each parallel candidate worker — which
+        // happens naturally because eval_values runs on the worker.
+        let values = with_solve_ctrl(self.ctrl.clone(), || {
+            evaluate_all(self.tech, def, view, bias, ext)
+        })?;
         self.counter.record(phase, def.metrics.len());
         if let (Some(cache), Some(key)) = (self.cache.as_deref(), key) {
             cache.store(key, &values);

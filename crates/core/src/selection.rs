@@ -232,10 +232,18 @@ impl<'t> Optimizer<'t> {
         }
         let sch = self.schematic_reference(def, bias, configs[0].total_fins())?;
 
+        // How one candidate went down: cancellation is a control signal that
+        // aborts the whole selection, everything else is ledgered per
+        // candidate so the survivors still rank.
+        enum CandidateFailure {
+            Cancelled(prima_cache::Cancelled),
+            Failed { panicked: bool, reason: String },
+        }
+
         // Evaluate candidates in parallel; a child panic is captured at the
         // join and folded into the per-candidate result instead of
         // propagating.
-        let results: Vec<Result<Evaluated, String>> = crossbeam::thread::scope(|scope| {
+        let results: Vec<Result<Evaluated, CandidateFailure>> = crossbeam::thread::scope(|scope| {
             let handles: Vec<_> = configs
                 .iter()
                 .enumerate()
@@ -268,14 +276,21 @@ impl<'t> Optimizer<'t> {
                 .into_iter()
                 .map(|h| match h.join() {
                     Ok(Ok(ev)) => Ok(ev),
-                    Ok(Err(e)) => Err(e.to_string()),
+                    Ok(Err(OptError::Cancelled(c))) => Err(CandidateFailure::Cancelled(c)),
+                    Ok(Err(e)) => Err(CandidateFailure::Failed {
+                        panicked: false,
+                        reason: e.to_string(),
+                    }),
                     Err(payload) => {
                         let msg = payload
                             .downcast_ref::<&str>()
                             .map(|s| (*s).to_string())
                             .or_else(|| payload.downcast_ref::<String>().cloned())
                             .unwrap_or_else(|| "candidate evaluation panicked".to_string());
-                        Err(format!("panic: {msg}"))
+                        Err(CandidateFailure::Failed {
+                            panicked: true,
+                            reason: format!("panic: {msg}"),
+                        })
                     }
                 })
                 .collect()
@@ -286,8 +301,12 @@ impl<'t> Optimizer<'t> {
         for (idx, result) in results.into_iter().enumerate() {
             match result {
                 Ok(ev) => evaluated.push((idx, ev)),
-                Err(reason) => {
-                    let panicked = reason.starts_with("panic:");
+                // A cancelled candidate means the request (not the
+                // candidate) is done: propagate without ledgering, so the
+                // untried remainder is not condemned as failed and a later
+                // uncancelled run starts from a clean slate.
+                Err(CandidateFailure::Cancelled(c)) => return Err(OptError::Cancelled(c)),
+                Err(CandidateFailure::Failed { panicked, reason }) => {
                     ledger.record(&def.name, idx, panicked, reason);
                 }
             }

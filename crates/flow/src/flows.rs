@@ -12,9 +12,9 @@ use std::time::{Duration, Instant};
 
 use prima_cache::{CacheEventKind, CachePolicy, CacheStats, EvalCache, Fingerprintable};
 use prima_core::{
-    clamp_to_em_floor, reconcile, route_wire, BinRanked, EvalLedger, Evaluated, FaultInjector,
-    FaultPlan, GlobalRoute, NoFaults, Optimizer, Phase, PortConstraint, RepairBudgets,
-    RepairCursor, ResilienceReport, RuleKind, Severity, Violation,
+    clamp_to_em_floor, reconcile, route_wire, BinRanked, CancelToken, EvalLedger, Evaluated,
+    FaultInjector, FaultPlan, GlobalRoute, NoFaults, Optimizer, Phase, PortConstraint,
+    RepairBudgets, RepairCursor, ResilienceReport, RuleKind, Severity, SolverLimits, Violation,
 };
 use prima_geom::Point;
 use prima_layout::{generate, render, CellConfig, PlacementPattern, PrimitiveLayout};
@@ -75,7 +75,7 @@ impl VerifyPolicy {
 /// Switches for ablating individual steps of the optimized flow.
 ///
 /// Not `Copy`: [`CachePolicy::Persistent`] carries a path.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FlowOptions {
     /// Run Algorithm 1 step 2 (parallel-wire tuning of selected layouts).
     pub tuning: bool,
@@ -88,6 +88,20 @@ pub struct FlowOptions {
     /// cached runs produce bit-identical layouts but different simulation
     /// counts, and the counts are part of the paper's exhibits.
     pub cache: CachePolicy,
+    /// Iteration/strategy bounds for the nonlinear solvers. The default
+    /// reproduces the historical hard-coded limits bit for bit;
+    /// [`SolverLimits::strict`] trades convergence attempts for bounded
+    /// worst-case solve time (deadline-sensitive serving).
+    pub solver: SolverLimits,
+    /// Wall-clock budget for the whole flow, measured from entry. Checked
+    /// cooperatively — at candidate, Newton-iteration, route, and stage
+    /// boundaries — so an expired run unwinds with [`FlowError::Cancelled`]
+    /// shortly after the deadline, never mid-structure.
+    pub deadline: Option<Duration>,
+    /// Externally-owned cancellation handle. When both a token and a
+    /// `deadline` are given, the token's deadline is tightened to whichever
+    /// is earlier (visible to every clone of the token).
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for FlowOptions {
@@ -97,6 +111,9 @@ impl Default for FlowOptions {
             port_optimization: true,
             verify: VerifyPolicy::default(),
             cache: CachePolicy::Off,
+            solver: SolverLimits::default(),
+            deadline: None,
+            cancel: None,
         }
     }
 }
@@ -493,11 +510,14 @@ pub fn conventional_flow(
 fn open_cache(policy: &CachePolicy, tech: &Technology) -> Option<Arc<EvalCache>> {
     match policy {
         CachePolicy::Off => None,
-        policy => Some(Arc::new(EvalCache::open(
+        // `resolve` hands back the caller's store for `CachePolicy::Shared`
+        // (the serving layer's per-tenant namespaces) and opens a fresh one
+        // otherwise.
+        policy => Some(EvalCache::resolve(
             policy.clone(),
             tech.fingerprint(),
             TESTBENCH_VERSION,
-        ))),
+        )),
     }
 }
 
@@ -552,6 +572,29 @@ fn gate(report: VerifyReport) -> Result<VerifyReport, FlowError> {
         Ok(report)
     } else {
         Err(gate_error(&report))
+    }
+}
+
+/// The effective cancellation handle of one run: the caller's token, a
+/// fresh deadline token, or both merged (earliest deadline wins; the
+/// tightening is visible to every clone of the caller's token).
+fn effective_cancel(options: &FlowOptions) -> Option<CancelToken> {
+    match (&options.cancel, options.deadline) {
+        (Some(t), Some(d)) => {
+            t.tighten_deadline(d);
+            Some(t.clone())
+        }
+        (Some(t), None) => Some(t.clone()),
+        (None, Some(d)) => Some(CancelToken::with_deadline(d)),
+        (None, None) => None,
+    }
+}
+
+/// Cooperative stage-boundary checkpoint: a no-op without a token.
+fn checkpoint(cancel: &Option<CancelToken>) -> Result<(), FlowError> {
+    match cancel {
+        Some(t) => t.check().map_err(FlowError::from),
+        None => Ok(()),
     }
 }
 
@@ -662,6 +705,11 @@ fn run_flow(
 ) -> Result<FlowOutcome, FlowError> {
     let start = Instant::now();
 
+    // Cancellation: merge the caller's token with the options deadline, and
+    // refuse to start a run whose budget is already spent.
+    let cancel = effective_cancel(&options);
+    checkpoint(&cancel)?;
+
     // Schematic preflight: the whole lint suite costs microseconds, so a
     // malformed request dies with exact `SCHEM.*` rule ids before the
     // optimizer (and its simulation counter) even exists.
@@ -679,6 +727,10 @@ fn run_flow(
     let mut opt = Optimizer::new(tech);
     if let Some(cache) = open_cache(&options.cache, tech) {
         opt.set_cache(cache);
+    }
+    opt.set_solver_limits(options.solver.clone());
+    if let Some(token) = &cancel {
+        opt.set_cancel(token.clone());
     }
     let n_bins = match kind {
         FlowKind::Manual => 4,
@@ -787,6 +839,7 @@ fn run_flow(
     // consumed by the attempt that trips over them and stay consumed, so a
     // retry can succeed.
     let mut router = DetailRouter::new(tech);
+    router.set_cancel(cancel.clone());
     for net in spec.nets() {
         let n = injector.route_failures(&net);
         if n > 0 {
@@ -798,6 +851,7 @@ fn run_flow(
     let mut gate_attempt: u32 = 0;
     loop {
         gate_attempt += 1;
+        checkpoint(&cancel)?;
 
         // Current option set per instance: the live bins' active
         // candidates. Quality guard: the placer chooses among these by
@@ -976,6 +1030,9 @@ fn run_flow(
                         DetailError::Congested { net, .. }
                         | DetailError::ZeroWidth { net }
                         | DetailError::PairDesync { net } => net.clone(),
+                        // Cancellation is not a routing failure: no retry,
+                        // no perturbed re-attempt — unwind immediately.
+                        DetailError::Cancelled(c) => return Err(FlowError::Cancelled(*c)),
                     };
                     if route_attempt >= budgets.route_attempts {
                         return Err(FlowError::RepairExhausted {
@@ -1571,6 +1628,59 @@ mod tests {
         assert!(out.realization.net_wires.contains_key("vout"));
         let on = optimized_flow(&tech, &lib, &spec, &biases, 7).unwrap();
         assert!(on.sims["tuning"] > 0);
+    }
+
+    #[test]
+    fn expired_deadline_refuses_to_start() {
+        let tech = Technology::finfet7();
+        let lib = Library::standard();
+        let spec = crate::circuits::CsAmp::spec();
+        let biases = crate::circuits::CsAmp::biases(&tech, &lib).unwrap();
+        let opts = FlowOptions {
+            deadline: Some(Duration::ZERO),
+            ..FlowOptions::default()
+        };
+        match optimized_flow_with(&tech, &lib, &spec, &biases, 7, opts) {
+            Err(crate::FlowError::Cancelled(c)) => {
+                assert_eq!(c.reason, prima_cache::CancelReason::Deadline);
+            }
+            other => panic!("expected Cancelled(Deadline), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cancel_mid_flow_unwinds_as_cancelled() {
+        let tech = Technology::finfet7();
+        let lib = Library::standard();
+        let spec = crate::circuits::CsAmp::spec();
+        let biases = crate::circuits::CsAmp::biases(&tech, &lib).unwrap();
+        // Trip deterministically a few checkpoints in: deep inside the
+        // first candidate evaluations' Newton iterations.
+        let token = CancelToken::cancel_after_checks(50);
+        let opts = FlowOptions {
+            cancel: Some(token),
+            ..FlowOptions::default()
+        };
+        match optimized_flow_with(&tech, &lib, &spec, &biases, 7, opts) {
+            Err(crate::FlowError::Cancelled(c)) => {
+                assert_eq!(c.reason, prima_cache::CancelReason::Trip);
+            }
+            other => panic!("expected Cancelled(Trip), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn strict_solver_limits_still_converge_on_benchmarks() {
+        let tech = Technology::finfet7();
+        let lib = Library::standard();
+        let spec = crate::circuits::CsAmp::spec();
+        let biases = crate::circuits::CsAmp::biases(&tech, &lib).unwrap();
+        let opts = FlowOptions {
+            solver: SolverLimits::strict(),
+            ..FlowOptions::default()
+        };
+        let out = optimized_flow_with(&tech, &lib, &spec, &biases, 7, opts).unwrap();
+        assert!(out.area_um2 > 0.0);
     }
 
     #[test]

@@ -46,8 +46,11 @@ pub use flows::{
     FlowKind, FlowOptions, FlowOutcome, VerifyPolicy,
 };
 pub use preflight::schem_preflight;
-pub use prima_cache::{CachePolicy, CacheStats};
-pub use prima_core::{FaultPlan, Health, RepairBudgets, ResilienceReport};
+pub use prima_cache::{CacheHub, CachePolicy, CacheStats, Namespace};
+pub use prima_core::{
+    CancelReason, CancelToken, Cancelled, FaultPlan, Health, RepairBudgets, RequestReport,
+    ResilienceReport, ServeOutcome, ServeReport, SolverLimits,
+};
 
 /// Errors from circuit assembly and flow execution.
 #[derive(Debug, Clone, PartialEq)]
@@ -107,6 +110,10 @@ pub enum FlowError {
         /// The last failure, formatted.
         last: String,
     },
+    /// The flow's [`CancelToken`] tripped — an explicit cancel or an
+    /// expired wall-clock deadline — and the run was abandoned at the next
+    /// cooperative checkpoint. Never retried by the serving layer.
+    Cancelled(Cancelled),
 }
 
 impl fmt::Display for FlowError {
@@ -143,6 +150,7 @@ impl fmt::Display for FlowError {
                 f,
                 "repair exhausted: {circuit} {stage} failed after {attempts} attempt(s), last: {last}"
             ),
+            FlowError::Cancelled(c) => write!(f, "flow abandoned: {c}"),
         }
     }
 }
@@ -156,17 +164,33 @@ impl From<SpiceError> for FlowError {
 }
 impl From<AnalysisError> for FlowError {
     fn from(e: AnalysisError) -> Self {
-        FlowError::Analysis(e)
+        // Cancellation is control flow, not an analysis failure: surface it
+        // as such so the serving layer never classifies it as retryable.
+        match e {
+            AnalysisError::Cancelled(c) => FlowError::Cancelled(c),
+            e => FlowError::Analysis(e),
+        }
     }
 }
 impl From<EvalError> for FlowError {
     fn from(e: EvalError) -> Self {
+        if let EvalError::Analysis(AnalysisError::Cancelled(c)) = &e {
+            return FlowError::Cancelled(*c);
+        }
         FlowError::Eval(e)
     }
 }
 impl From<OptError> for FlowError {
     fn from(e: OptError) -> Self {
-        FlowError::Opt(e)
+        match e {
+            OptError::Cancelled(c) => FlowError::Cancelled(c),
+            e => FlowError::Opt(e),
+        }
+    }
+}
+impl From<Cancelled> for FlowError {
+    fn from(c: Cancelled) -> Self {
+        FlowError::Cancelled(c)
     }
 }
 impl From<PlaceError> for FlowError {

@@ -46,6 +46,9 @@ pub enum DetailError {
         /// Net of the pair whose segment index went out of range.
         net: String,
     },
+    /// The router's [`CancelToken`](prima_cache::CancelToken) tripped; the
+    /// assignment was abandoned at a net boundary. Not retryable.
+    Cancelled(prima_cache::Cancelled),
 }
 
 impl std::fmt::Display for DetailError {
@@ -58,7 +61,14 @@ impl std::fmt::Display for DetailError {
             DetailError::PairDesync { net } => {
                 write!(f, "symmetric pair of net {net} lost segment alignment")
             }
+            DetailError::Cancelled(c) => write!(f, "detailed routing abandoned: {c}"),
         }
+    }
+}
+
+impl From<prima_cache::Cancelled> for DetailError {
+    fn from(c: prima_cache::Cancelled) -> Self {
+        DetailError::Cancelled(c)
     }
 }
 
@@ -128,6 +138,8 @@ pub struct DetailRouter<'t> {
     /// `&self`; counters persist across calls on the same router, so a
     /// retry after an injected failure genuinely succeeds.
     forced_failures: RefCell<HashMap<String, u32>>,
+    /// Cooperative cancellation, checked at every net boundary.
+    cancel: Option<prima_cache::CancelToken>,
 }
 
 impl<'t> DetailRouter<'t> {
@@ -137,7 +149,22 @@ impl<'t> DetailRouter<'t> {
             tech,
             max_shift: 40,
             forced_failures: RefCell::new(HashMap::new()),
+            cancel: None,
         }
+    }
+
+    /// Attaches (or detaches) a cooperative cancel token; a tripped token
+    /// fails the next net's assignment with [`DetailError::Cancelled`].
+    pub fn set_cancel(&mut self, token: Option<prima_cache::CancelToken>) {
+        self.cancel = token;
+    }
+
+    /// Cooperative checkpoint at a net boundary.
+    fn check_cancel(&self) -> Result<(), DetailError> {
+        if let Some(token) = &self.cancel {
+            token.check()?;
+        }
+        Ok(())
     }
 
     /// Forces the next `count` assignment attempts of `net` to report
@@ -200,6 +227,7 @@ impl<'t> DetailRouter<'t> {
         let mut result = DetailedResult::default();
 
         for route in routes {
+            self.check_cancel()?;
             if let Some(err) = self.forced_congestion(route) {
                 return Err(err);
             }
@@ -251,6 +279,7 @@ impl<'t> DetailRouter<'t> {
             if done.contains(&route.net) {
                 continue;
             }
+            self.check_cancel()?;
             if let Some(err) = self.forced_congestion(route) {
                 return Err(err);
             }
@@ -635,6 +664,28 @@ mod tests {
         assert!(router
             .assign_with_symmetry(&routes, &HashMap::new(), &pairs)
             .is_ok());
+    }
+
+    #[test]
+    fn cancelled_token_aborts_assignment() {
+        let t = tech();
+        let routes = route_two_nets(&t);
+        let mut router = DetailRouter::new(&t);
+        let token = prima_cache::CancelToken::new();
+        token.cancel();
+        router.set_cancel(Some(token));
+        assert!(matches!(
+            router.assign(&routes, &HashMap::new()),
+            Err(DetailError::Cancelled(_))
+        ));
+        let pairs = vec![("a".to_string(), "b".to_string())];
+        assert!(matches!(
+            router.assign_with_symmetry(&routes, &HashMap::new(), &pairs),
+            Err(DetailError::Cancelled(_))
+        ));
+        // Detaching the token restores normal operation on the same router.
+        router.set_cancel(None);
+        assert!(router.assign(&routes, &HashMap::new()).is_ok());
     }
 
     #[test]

@@ -33,6 +33,9 @@ pub enum AnalysisError {
         /// Description of the violated constraint.
         reason: String,
     },
+    /// The ambient [`CancelToken`](prima_cache::CancelToken) tripped
+    /// (explicit cancel or deadline); the solve was abandoned mid-iteration.
+    Cancelled(prima_cache::Cancelled),
 }
 
 impl fmt::Display for AnalysisError {
@@ -43,6 +46,7 @@ impl fmt::Display for AnalysisError {
                 write!(f, "no convergence in {phase} after {iterations} iterations")
             }
             AnalysisError::BadParameters { reason } => write!(f, "bad parameters: {reason}"),
+            AnalysisError::Cancelled(c) => write!(f, "solve abandoned: {c}"),
         }
     }
 }
@@ -52,6 +56,12 @@ impl std::error::Error for AnalysisError {}
 impl From<LinearError> for AnalysisError {
     fn from(e: LinearError) -> Self {
         AnalysisError::Linear(e)
+    }
+}
+
+impl From<prima_cache::Cancelled> for AnalysisError {
+    fn from(c: prima_cache::Cancelled) -> Self {
+        AnalysisError::Cancelled(c)
     }
 }
 

@@ -77,6 +77,12 @@ impl OperatingPoint {
 
 /// Newton-based DC solver. Create with [`DcSolver::new`], adjust limits with
 /// the builder-style setters, then call [`DcSolver::solve`].
+///
+/// [`DcSolver::new`] snapshots the ambient [`SolveCtrl`] scope (iteration
+/// limits + cancel token), so deeply-nested testbench code honors the
+/// flow's solver budget and deadline without any signature changes.
+///
+/// [`SolveCtrl`]: crate::ctrl::SolveCtrl
 #[derive(Debug, Clone)]
 pub struct DcSolver {
     max_iterations: usize,
@@ -84,9 +90,11 @@ pub struct DcSolver {
     damping: f64,
     gmin_ladder: Vec<f64>,
     source_steps: usize,
+    cancel: Option<prima_cache::CancelToken>,
 }
 
 impl Default for DcSolver {
+    /// The historical hard-coded limits, ignoring any ambient scope.
     fn default() -> Self {
         DcSolver {
             max_iterations: 200,
@@ -94,14 +102,23 @@ impl Default for DcSolver {
             damping: 0.3,
             gmin_ladder: vec![1e-3, 1e-5, 1e-7, 1e-9, 1e-12],
             source_steps: 10,
+            cancel: None,
         }
     }
 }
 
 impl DcSolver {
-    /// Creates a solver with default convergence settings.
+    /// Creates a solver from the ambient [`SolveCtrl`](crate::ctrl::SolveCtrl)
+    /// scope (falls back to the historical defaults outside any scope).
     pub fn new() -> Self {
-        Self::default()
+        let ctrl = crate::ctrl::current_solve_ctrl();
+        DcSolver {
+            max_iterations: ctrl.limits.dc_max_iterations,
+            gmin_ladder: ctrl.limits.dc_gmin_ladder,
+            source_steps: ctrl.limits.dc_source_steps,
+            cancel: ctrl.cancel,
+            ..Self::default()
+        }
     }
 
     /// Sets the maximum Newton iterations per strategy rung.
@@ -113,6 +130,24 @@ impl DcSolver {
     /// Sets the absolute voltage convergence tolerance (V).
     pub fn vtol(mut self, v: f64) -> Self {
         self.vtol = v;
+        self
+    }
+
+    /// Overrides the gmin continuation ladder.
+    pub fn gmin_ladder(mut self, ladder: Vec<f64>) -> Self {
+        self.gmin_ladder = ladder;
+        self
+    }
+
+    /// Overrides the source-stepping point count.
+    pub fn source_steps(mut self, n: usize) -> Self {
+        self.source_steps = n.max(1);
+        self
+    }
+
+    /// Attaches (or detaches) a cooperative cancel token.
+    pub fn cancel_token(mut self, token: Option<prima_cache::CancelToken>) -> Self {
+        self.cancel = token;
         self
     }
 
@@ -164,6 +199,9 @@ impl DcSolver {
         for &gmin in &self.gmin_ladder {
             match self.newton(circuit, topo, &x, gmin, 1.0) {
                 Ok(next) => x = next,
+                // A cancelled rung must not fall through to source stepping:
+                // the whole solve is abandoned.
+                Err(e @ AnalysisError::Cancelled(_)) => return Err(e),
                 Err(_) => {
                     ladder_ok = false;
                     break;
@@ -201,6 +239,9 @@ impl DcSolver {
         let mut rhs = vec![0.0; dim];
 
         for _iter in 0..self.max_iterations {
+            if let Some(token) = &self.cancel {
+                token.check()?;
+            }
             mat.clear();
             rhs.iter_mut().for_each(|v| *v = 0.0);
             assemble_dc(circuit, topo, &x, gmin, src_scale, &mut mat, &mut rhs);
@@ -553,6 +594,52 @@ mod tests {
             assert!(v <= last + 1e-6);
             last = v;
         }
+    }
+
+    #[test]
+    fn cancelled_token_aborts_solve() {
+        use prima_cache::{CancelReason, CancelToken};
+        let mut c = Circuit::new();
+        let vin = c.node("vin");
+        let mid = c.node("mid");
+        c.vsource("V1", vin, Circuit::GROUND, 2.0);
+        c.resistor("R1", vin, mid, 1e3).unwrap();
+        c.resistor("R2", mid, Circuit::GROUND, 3e3).unwrap();
+        let token = CancelToken::new();
+        token.cancel();
+        let err = DcSolver::new()
+            .cancel_token(Some(token))
+            .solve(&c)
+            .unwrap_err();
+        match err {
+            AnalysisError::Cancelled(c) => assert_eq!(c.reason, CancelReason::Explicit),
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+        // An untripped token changes nothing.
+        let ok = DcSolver::new()
+            .cancel_token(Some(CancelToken::new()))
+            .solve(&c);
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn ambient_scope_cancels_nested_solvers() {
+        use crate::ctrl::{with_solve_ctrl, SolveCtrl};
+        use prima_cache::CancelToken;
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.vsource("V1", a, Circuit::GROUND, 1.0);
+        c.resistor("R1", a, Circuit::GROUND, 1e3).unwrap();
+        let token = CancelToken::new();
+        token.cancel();
+        let res = with_solve_ctrl(
+            SolveCtrl {
+                cancel: Some(token),
+                ..SolveCtrl::default()
+            },
+            || DcSolver::new().solve(&c),
+        );
+        assert!(matches!(res, Err(AnalysisError::Cancelled(_))));
     }
 
     #[test]

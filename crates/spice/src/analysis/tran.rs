@@ -75,7 +75,9 @@ impl TranResult {
     }
 }
 
-/// Fixed-step transient solver.
+/// Fixed-step transient solver. Like [`DcSolver`], construction snapshots
+/// the ambient [`SolveCtrl`](crate::ctrl::SolveCtrl) scope for its Newton
+/// cap and cancel token.
 #[derive(Debug, Clone)]
 pub struct TranSolver {
     dt: f64,
@@ -83,17 +85,20 @@ pub struct TranSolver {
     initial: InitialState,
     max_newton: usize,
     vtol: f64,
+    cancel: Option<prima_cache::CancelToken>,
 }
 
 impl TranSolver {
     /// Creates a solver with timestep `dt` running to `t_stop` (seconds).
     pub fn new(dt: f64, t_stop: f64) -> Self {
+        let ctrl = crate::ctrl::current_solve_ctrl();
         TranSolver {
             dt,
             t_stop,
             initial: InitialState::OperatingPoint,
-            max_newton: 60,
+            max_newton: ctrl.limits.tran_max_newton,
             vtol: 1e-7,
+            cancel: ctrl.cancel,
         }
     }
 
@@ -193,6 +198,8 @@ impl TranSolver {
                         solved = Some((next, method));
                         break;
                     }
+                    // Cancellation aborts the run; no method fallback.
+                    Err(e @ AnalysisError::Cancelled(_)) => return Err(e),
                     Err(_) => continue,
                 }
             }
@@ -219,9 +226,12 @@ impl TranSolver {
                                 &mut mat,
                                 &mut rhs,
                             )
-                            .map_err(|_| AnalysisError::NoConvergence {
-                                phase: format!("tran substep at t={ts:e}"),
-                                iterations: self.max_newton,
+                            .map_err(|e| match e {
+                                e @ AnalysisError::Cancelled(_) => e,
+                                _ => AnalysisError::NoConvergence {
+                                    phase: format!("tran substep at t={ts:e}"),
+                                    iterations: self.max_newton,
+                                },
                             })?;
                         states.advance(circuit, &topo, &next, sub_dt, Method::BackwardEuler);
                         x = next;
@@ -251,6 +261,9 @@ impl TranSolver {
     ) -> Result<Vec<f64>, AnalysisError> {
         let mut x = x_prev.to_vec();
         for _ in 0..self.max_newton {
+            if let Some(token) = &self.cancel {
+                token.check()?;
+            }
             mat.clear();
             rhs.iter_mut().for_each(|v| *v = 0.0);
             assemble_tran(circuit, topo, &x, states, t, dt, method, mat, rhs);

@@ -46,6 +46,7 @@
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod analysis;
+pub mod ctrl;
 pub mod devices;
 pub mod measure;
 pub mod netlist;
@@ -56,6 +57,7 @@ pub use analysis::ac::{AcResult, AcSolver, FrequencySweep};
 pub use analysis::dc::{DcSolver, OperatingPoint};
 pub use analysis::sweep::DcSweep;
 pub use analysis::tran::{TranResult, TranSolver};
+pub use ctrl::{current_solve_ctrl, with_solve_ctrl, SolveCtrl, SolverLimits};
 pub use devices::{FetInstance, FetModel, FetPolarity};
 pub use netlist::{Circuit, NodeId, SpiceError};
 pub use num::Complex;
