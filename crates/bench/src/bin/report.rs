@@ -6,8 +6,8 @@
 //!   cargo run --release -p prima-bench --bin report -- fast    # skip slow rows
 //!
 //! Exhibits: fig2 (≡ table1), table2, fig3, fig5, table3, table4, fig6,
-//! table5, table6, table7, table8, ablations, schem, verify, erc,
-//! resilience, cache, serve.
+//! table5, table6, table7, table8, ablations, techlint, schem, verify,
+//! erc, resilience, cache, serve.
 
 use prima_bench::*;
 
@@ -24,6 +24,7 @@ const EXHIBITS: &[&str] = &[
     "table7",
     "table8",
     "ablations",
+    "techlint",
     "schem",
     "verify",
     "erc",
@@ -91,6 +92,9 @@ fn main() {
     }
     if run("ablations") {
         println!("{}", ablations(&env));
+    }
+    if run("techlint") {
+        println!("{}", techlint_summary(&env));
     }
     if run("schem") {
         println!("{}", schem_summary(&env));

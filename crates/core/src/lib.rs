@@ -35,7 +35,7 @@
 //! assert!(tuned.cost <= picks[0].cost);
 //! ```
 
-#![cfg_attr(test, allow(clippy::unwrap_used))]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 #![forbid(unsafe_code)]
 
 pub mod accounting;

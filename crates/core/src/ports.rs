@@ -98,6 +98,10 @@ impl<'t> Optimizer<'t> {
     /// # Errors
     ///
     /// Propagates evaluation failures.
+    // The `expect`s re-raise panics out of the crossbeam sweep workers;
+    // a panicked worker has no result to salvage, so propagation is the
+    // only sound behavior.
+    #[allow(clippy::expect_used)]
     pub fn port_constraints(
         &self,
         def: &PrimitiveDef,
@@ -184,7 +188,7 @@ pub(crate) fn interval_from_costs(costs: &[f64]) -> (u32, Option<u32>) {
     let imin = costs
         .iter()
         .enumerate()
-        .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite costs"))
+        .min_by(|a, b| a.1.total_cmp(b.1))
         .map(|(i, _)| i)
         .unwrap_or(0);
     let w_max = if imin + 1 < costs.len() {
@@ -238,6 +242,9 @@ pub fn clamp_to_em_floor(constraints: &mut [PortConstraint], floor: u32) {
 ///
 /// Panics if `constraints` is empty or the constraints disagree on the net
 /// name (caller bugs).
+// Panicking on caller bugs is this function's documented contract; the
+// `expect`s below restate invariants the leading asserts establish.
+#[allow(clippy::expect_used)]
 pub fn reconcile(constraints: &[PortConstraint]) -> ReconciledNet {
     assert!(!constraints.is_empty(), "no constraints to reconcile");
     let net = constraints[0].net.clone();

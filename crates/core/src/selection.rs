@@ -140,6 +140,10 @@ impl<'t> Optimizer<'t> {
     ///
     /// Returns [`OptError::NoCandidates`] for an empty config list and
     /// propagates generation/evaluation failures.
+    // The `expect`s re-raise panics out of the crossbeam evaluation
+    // workers; a panicked candidate has no result to salvage (the
+    // fault-aware sibling `select_bins` is the one that absorbs them).
+    #[allow(clippy::expect_used)]
     pub fn select(
         &self,
         def: &PrimitiveDef,
@@ -174,23 +178,18 @@ impl<'t> Optimizer<'t> {
         .expect("evaluation scope panicked");
 
         let mut evaluated: Vec<Evaluated> = results.into_iter().collect::<Result<_, _>>()?;
-        evaluated.sort_by(|a, b| {
-            a.layout
-                .aspect_ratio()
-                .partial_cmp(&b.layout.aspect_ratio())
-                .expect("aspect ratios are finite")
-        });
+        evaluated.sort_by(|a, b| a.layout.aspect_ratio().total_cmp(&b.layout.aspect_ratio()));
 
         // Quantile binning over the aspect-ratio order, then min cost per bin.
         let n_bins = n_bins.min(evaluated.len());
         let mut picks: Vec<Evaluated> = Vec::with_capacity(n_bins);
         let chunk = evaluated.len().div_ceil(n_bins);
         for bin in evaluated.chunks(chunk) {
-            let best = bin
-                .iter()
-                .min_by(|a, b| a.cost.partial_cmp(&b.cost).expect("finite costs"))
-                .expect("bins are non-empty");
-            picks.push(best.clone());
+            // `chunks` never yields an empty slice, so a bin always has
+            // a minimum.
+            if let Some(best) = bin.iter().min_by(|a, b| a.cost.total_cmp(&b.cost)) {
+                picks.push(best.clone());
+            }
         }
         Ok(picks)
     }
@@ -216,6 +215,11 @@ impl<'t> Optimizer<'t> {
     ///
     /// Returns [`OptError::NoCandidates`] for an empty config list or when
     /// every candidate evaluation failed.
+    // Child panics are folded into per-candidate results at the joins;
+    // the one remaining `expect` covers the scope itself, which only
+    // errors if a detached thread leaked past its join — an invariant,
+    // not a recoverable state.
+    #[allow(clippy::expect_used)]
     pub fn select_bins(
         &self,
         def: &PrimitiveDef,
@@ -328,15 +332,14 @@ impl<'t> Optimizer<'t> {
         evaluated.sort_by(|a, b| {
             a.1.layout
                 .aspect_ratio()
-                .partial_cmp(&b.1.layout.aspect_ratio())
-                .expect("aspect ratios are finite")
+                .total_cmp(&b.1.layout.aspect_ratio())
         });
         let n_bins = n_bins.min(evaluated.len());
         let chunk = evaluated.len().div_ceil(n_bins);
         let mut bins: Vec<BinRanked> = Vec::with_capacity(n_bins);
         for bin in evaluated.chunks(chunk) {
             let mut ranked: Vec<(usize, Evaluated)> = bin.to_vec();
-            ranked.sort_by(|a, b| a.1.cost.partial_cmp(&b.1.cost).expect("finite costs"));
+            ranked.sort_by(|a, b| a.1.cost.total_cmp(&b.1.cost));
             bins.push(BinRanked {
                 candidates: ranked.iter().map(|(idx, _)| *idx).collect(),
                 ranked: ranked.into_iter().map(|(_, ev)| ev).collect(),

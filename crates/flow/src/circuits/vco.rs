@@ -138,11 +138,14 @@ impl RoVco {
     }
 
     /// Maps a control voltage (0–0.5 V, the paper's range) to the starving
-    /// bias pair: the footer gate rises from just below threshold at
-    /// `vctrl = 0` to a moderate overdrive at full control, spanning the
-    /// paper's ~40× frequency range; the header mirrors it.
+    /// bias pair: the footer gate sits exactly at the deck's NMOS threshold
+    /// at `vctrl = 0` and rises to a moderate overdrive at full control,
+    /// spanning the paper's ~40× frequency range; the header mirrors it.
+    /// Referencing the threshold (instead of a fixed voltage) keeps the
+    /// starving devices conducting on every bundled node, from the 0.8 V
+    /// FinFET deck to the 1.8 V SKY130-flavored one.
     pub fn control_to_bias(tech: &Technology, vctrl: f64) -> (f64, f64) {
-        let vbn = 0.26 + 0.35 * vctrl;
+        let vbn = tech.nmos.vth0 + 0.35 * vctrl;
         let vbp = tech.vdd - vbn;
         (vbn, vbp)
     }

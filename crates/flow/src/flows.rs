@@ -137,6 +137,13 @@ pub struct FlowOutcome {
     /// parallel-route widths, per the paper's hand-off to the detailed
     /// router).
     pub detailed: DetailedResult,
+    /// Technology/library lint report (prima-techlint: deck
+    /// self-consistency plus library feasibility on this deck), run under
+    /// the verify policy before *everything* — the zeroth gate of the
+    /// techlint → schem → layout → verify → erc chain. A populated report
+    /// is always passing — a broken deck aborts the flow with
+    /// [`FlowError::Verify`] carrying the exact `TECH.*`/`LIB.*` rule id.
+    pub techlint: Option<VerifyReport>,
     /// Schematic preflight report (prima-schem: connectivity-graph lints,
     /// bias/sizing legality, topology recognition), run under the verify
     /// policy *before* any layout or simulation. A populated report is
@@ -193,7 +200,7 @@ fn supply_grid(
     if placement_blocks.is_empty() {
         return (SUPPLY_R_OHM, None);
     }
-    let report = synthesize(tech, bbox, placement_blocks, &PowerGridSpec::default());
+    let report = synthesize(tech, bbox, placement_blocks, &PowerGridSpec::for_tech(tech));
     let r = report.effective_r_ohm.clamp(0.05, 25.0);
     (r, Some(report))
 }
@@ -377,6 +384,14 @@ pub fn conventional_flow(
 ) -> Result<FlowOutcome, FlowError> {
     let start = Instant::now();
 
+    // Zeroth gate: the deck itself must be self-consistent and able to
+    // carry the primitive library before any request-specific checking.
+    let techlint = if FlowOptions::default().verify.enabled() {
+        Some(gate(preflight::techlint_preflight(tech, lib))?)
+    } else {
+        None
+    };
+
     // Schematic preflight: reject malformed requests before generating any
     // geometry. The baseline has no bias records; nominal per-class biases
     // are library invariants and need no re-check.
@@ -486,6 +501,7 @@ pub fn conventional_flow(
 
     Ok(FlowOutcome {
         kind: FlowKind::Conventional,
+        techlint,
         schem,
         realization: Realization {
             layouts,
@@ -709,6 +725,15 @@ fn run_flow(
     // refuse to start a run whose budget is already spent.
     let cancel = effective_cancel(&options);
     checkpoint(&cancel)?;
+
+    // Zeroth gate: deck self-consistency + library feasibility. A deck
+    // whose rule tables drifted from its stack dies here with an exact
+    // `TECH.*`/`LIB.*` rule id instead of panicking inside a router.
+    let techlint = if options.verify.enabled() {
+        Some(gate(preflight::techlint_preflight(tech, lib))?)
+    } else {
+        None
+    };
 
     // Schematic preflight: the whole lint suite costs microseconds, so a
     // malformed request dies with exact `SCHEM.*` rule ids before the
@@ -1029,7 +1054,8 @@ fn run_flow(
                     let net = match &e {
                         DetailError::Congested { net, .. }
                         | DetailError::ZeroWidth { net }
-                        | DetailError::PairDesync { net } => net.clone(),
+                        | DetailError::PairDesync { net }
+                        | DetailError::BadLayer { net, .. } => net.clone(),
                         // Cancellation is not a routing failure: no retry,
                         // no perturbed re-attempt — unwind immediately.
                         DetailError::Cancelled(c) => return Err(FlowError::Cancelled(*c)),
@@ -1153,6 +1179,7 @@ fn run_flow(
             let (cache_stats, cache_diagnostics) = finish_cache(opt.cache(), &mut resilience);
             return Ok(FlowOutcome {
                 kind,
+                techlint: techlint.clone(),
                 schem: schem.clone(),
                 realization: Realization {
                     layouts: placed.chosen,

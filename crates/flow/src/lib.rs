@@ -45,7 +45,7 @@ pub use flows::{
     conventional_flow, manual_flow, optimized_flow, optimized_flow_resilient, optimized_flow_with,
     FlowKind, FlowOptions, FlowOutcome, VerifyPolicy,
 };
-pub use preflight::schem_preflight;
+pub use preflight::{schem_preflight, techlint_preflight};
 pub use prima_cache::{CacheHub, CachePolicy, CacheStats, Namespace};
 pub use prima_core::{
     CancelReason, CancelToken, Cancelled, FaultPlan, Health, RepairBudgets, RequestReport,

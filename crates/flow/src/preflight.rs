@@ -9,6 +9,13 @@
 //! `prima-schem`'s device-level connectivity graph and runs the full
 //! `SCHEM.*` lint suite in microseconds, so the flows can reject it with
 //! exact rule ids before any layout is generated or testbench simulated.
+//!
+//! Before even that, [`techlint_preflight`] lints the *deck itself*
+//! (`TECH.*`/`LIB.*` rules): a technology whose rule tables drifted from
+//! its metal stack, or on which some library primitive can never render
+//! DRC-clean, is rejected once per flow instead of panicking inside a
+//! router three stages later. The full gate order is
+//! techlint → schem → layout → verify → erc.
 
 use std::collections::HashMap;
 
@@ -36,6 +43,15 @@ fn to_schem_circuit(spec: &CircuitSpec) -> SchemCircuit {
         symmetry: spec.symmetry.clone(),
         symmetric_nets: spec.symmetric_nets.clone(),
     }
+}
+
+/// Runs the static technology/library analyzer — the true zeroth gate,
+/// before the schematic preflight. Purely data-driven (deck
+/// self-consistency plus a feasibility proof for every library primitive
+/// on this deck); performs zero simulations, so it costs microseconds and
+/// can run once per flow even under benchmarking policies.
+pub fn techlint_preflight(tech: &Technology, lib: &Library) -> VerifyReport {
+    prima_techlint::check_deck(tech, lib)
 }
 
 /// Runs the full schematic lint suite over a flow circuit request.
@@ -67,6 +83,33 @@ pub fn schem_preflight(
 mod tests {
     use super::*;
     use crate::circuits::{CsAmp, FiveTOta, RoVco, StrongArm};
+
+    #[test]
+    fn bundled_decks_pass_techlint_preflight() {
+        let lib = Library::standard();
+        for tech in [
+            Technology::finfet7(),
+            Technology::bulk16(),
+            Technology::sky130ish(),
+        ] {
+            let report = techlint_preflight(&tech, &lib);
+            assert!(
+                report.is_passing(),
+                "{}: {:?}",
+                tech.name,
+                report.violations
+            );
+        }
+    }
+
+    #[test]
+    fn broken_deck_fails_techlint_preflight() {
+        let mut tech = Technology::finfet7();
+        tech.electrical.em_ma_per_cut.truncate(2);
+        let report = techlint_preflight(&tech, &Library::standard());
+        assert!(report.has_rule("TECH.EM.VIA"));
+        assert!(!report.is_passing());
+    }
 
     #[test]
     fn all_benchmark_circuits_preflight_clean() {

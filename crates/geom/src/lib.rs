@@ -16,7 +16,7 @@
 //! assert!((r.aspect_ratio() - 2.0).abs() < 1e-12);
 //! ```
 
-#![cfg_attr(test, allow(clippy::unwrap_used))]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 #![forbid(unsafe_code)]
 
 use serde::{Deserialize, Serialize};

@@ -43,7 +43,7 @@
 //! assert!(s.r_ohm > 0.0 && s.c_total_f > 0.0);
 //! ```
 
-#![cfg_attr(test, allow(clippy::unwrap_used))]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 #![forbid(unsafe_code)]
 
 mod cell;

@@ -29,7 +29,7 @@
 //! assert!(m3.r_ohm_per_um > tech.metal(6).r_ohm_per_um);
 //! ```
 
-#![cfg_attr(test, allow(clippy::unwrap_used))]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 #![forbid(unsafe_code)]
 
 use prima_spice::devices::{FetModel, FetPolarity};
@@ -38,6 +38,42 @@ use serde::{Deserialize, Serialize};
 /// Nanometres (matches `prima_geom::Nm`; re-declared here to keep the PDK
 /// crate independent of geometry).
 pub type Nm = i64;
+
+/// Typed failure of a metal/via rule lookup. Flow paths use the `try_*`
+/// accessors returning this error so an out-of-stack layer index becomes a
+/// reportable condition instead of a panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuleError {
+    /// A 1-based metal layer index beyond the deck's stack.
+    MetalOutOfRange {
+        /// Requested 1-based layer.
+        layer: usize,
+        /// Layers in the stack.
+        count: usize,
+    },
+    /// A 1-based via level beyond the deck's via stack.
+    ViaOutOfRange {
+        /// Requested 1-based via level.
+        level: usize,
+        /// Via levels in the stack.
+        count: usize,
+    },
+}
+
+impl std::fmt::Display for RuleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuleError::MetalOutOfRange { layer, count } => {
+                write!(f, "metal layer M{layer} not in {count}-layer stack")
+            }
+            RuleError::ViaOutOfRange { level, count } => {
+                write!(f, "via level V{level} not in {count}-level via stack")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RuleError {}
 
 /// Fin-grid and gate-grid geometry of the node.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -286,7 +322,11 @@ impl DesignRules {
             .windows(2)
             .enumerate()
             .map(|(i, w)| {
-                let cut = (w[0].min_width / 2).max(1);
+                // The cut plus its enclosure must fit inside a minimum-width
+                // wire on *both* connected layers, so size from the narrower
+                // one (upper layers are narrower than lower ones on decks
+                // with LI-style local interconnect).
+                let cut = (w[0].min_width.min(w[1].min_width) / 2).max(1);
                 ViaRule {
                     name: format!("V{}", i + 1),
                     cut,
@@ -322,8 +362,12 @@ impl DesignRules {
                 offset: fin.cell_width_overhead / 2 + (fin.poly_pitch - fin.gate_length) / 2,
             },
             GridRule {
-                // M1 stubs land a fixed clearance right of each gate.
-                layer: "M1".to_string(),
+                // Bottom-metal stubs land a fixed clearance right of each
+                // gate. The grid is named after whatever the deck calls its
+                // bottom routing layer ("M1", "LI", …).
+                layer: metals
+                    .first()
+                    .map_or_else(|| "M1".to_string(), |m| m.name.clone()),
                 pitch: fin.poly_pitch,
                 offset: fin.cell_width_overhead / 2
                     + (fin.poly_pitch - fin.gate_length) / 2
@@ -340,30 +384,57 @@ impl DesignRules {
         }
     }
 
+    /// Metal rule by 1-based layer index, or a typed error if the layer is
+    /// not in the stack. Flow paths use this; tests and examples may use the
+    /// panicking [`DesignRules::metal`].
+    pub fn try_metal(&self, layer: usize) -> Result<&LayerRule, RuleError> {
+        if (1..=self.metal.len()).contains(&layer) {
+            Ok(&self.metal[layer - 1])
+        } else {
+            Err(RuleError::MetalOutOfRange {
+                layer,
+                count: self.metal.len(),
+            })
+        }
+    }
+
     /// Metal rule by 1-based layer index.
     ///
     /// # Panics
     ///
-    /// Panics if the layer does not exist.
+    /// Panics if the layer does not exist; use [`DesignRules::try_metal`] on
+    /// flow paths.
     pub fn metal(&self, layer: usize) -> &LayerRule {
-        assert!(
-            (1..=self.metal.len()).contains(&layer),
-            "no rules for metal layer M{layer}"
-        );
-        &self.metal[layer - 1]
+        match self.try_metal(layer) {
+            Ok(r) => r,
+            Err(e) => panic!("no rules for metal layer M{layer}: {e}"),
+        }
+    }
+
+    /// Via rule above a 1-based metal layer (`try_via(1)` = V1 = M1→M2), or
+    /// a typed error if the via level is not in the stack.
+    pub fn try_via(&self, lower_layer: usize) -> Result<&ViaRule, RuleError> {
+        if (1..=self.vias.len()).contains(&lower_layer) {
+            Ok(&self.vias[lower_layer - 1])
+        } else {
+            Err(RuleError::ViaOutOfRange {
+                level: lower_layer,
+                count: self.vias.len(),
+            })
+        }
     }
 
     /// Via rule above a 1-based metal layer (`via(1)` = V1 = M1→M2).
     ///
     /// # Panics
     ///
-    /// Panics if the via level does not exist.
+    /// Panics if the via level does not exist; use [`DesignRules::try_via`]
+    /// on flow paths.
     pub fn via(&self, lower_layer: usize) -> &ViaRule {
-        assert!(
-            (1..=self.vias.len()).contains(&lower_layer),
-            "no via level above M{lower_layer}"
-        );
-        &self.vias[lower_layer - 1]
+        match self.try_via(lower_layer) {
+            Ok(r) => r,
+            Err(e) => panic!("no via level above M{lower_layer}: {e}"),
+        }
     }
 
     /// FEOL rule by layer name, if present.
@@ -706,18 +777,169 @@ impl Technology {
         }
     }
 
+    /// A deliberately stressed SKY130-flavored 130 nm-class bulk node: the
+    /// fixture that proves the flow is PDK-agnostic. Unlike the two
+    /// synthetic nodes it has
+    ///
+    /// * a **local-interconnect-style bottom layer** (`LI`) that is *wider*
+    ///   and far more resistive than the metal above it — width quantization
+    ///   is non-monotone up the stack,
+    /// * **non-uniform pitches** (LI 340, M1/M2 280, M3/M4 600) instead of a
+    ///   smooth progression,
+    /// * **fewer levels**: 5 routing layers and 4 via levels, and
+    /// * a 1.8 V thick-oxide device pair.
+    ///
+    /// Numbers are order-of-magnitude SKY130 (open PDK), not the real deck.
+    pub fn sky130ish() -> Self {
+        let lde_n = LdeParams {
+            kvth_lod: 0.012,
+            kmu_lod: 0.10,
+            kvth_wpe: 0.8,
+            sc_offset: 300.0,
+            inv_sa_ref: 2.0 / (240.0 + 75.0),
+        };
+        let lde_p = LdeParams {
+            kvth_lod: -0.009,
+            kmu_lod: -0.08,
+            kvth_wpe: 0.6,
+            sc_offset: 300.0,
+            inv_sa_ref: 2.0 / (240.0 + 75.0),
+        };
+        let fin = FinGeometry {
+            // Planar abstraction: one "fin" is a 200 nm slice of width.
+            fin_pitch: 200,
+            fin_width: 200,
+            weff_per_fin: 200,
+            poly_pitch: 430,
+            gate_length: 150,
+            diff_extension: 130,
+            // Row gap is overhead − 2·diff_extension; must clear the derived
+            // poly min_space (poly_pitch − gate_length = 280): 600−260 = 340.
+            cell_height_overhead: 600,
+            cell_width_overhead: 300,
+        };
+        let metals = vec![
+            MetalLayer {
+                name: "LI".into(),
+                dir: RouteDir::Vertical,
+                pitch: 340,
+                min_width: 170,
+                // Titanium nitride local interconnect: enormously resistive.
+                r_ohm_per_um: 75.0,
+                c_f_per_um: 0.10e-15,
+            },
+            MetalLayer {
+                name: "M1".into(),
+                dir: RouteDir::Horizontal,
+                pitch: 280,
+                min_width: 140,
+                r_ohm_per_um: 0.90,
+                c_f_per_um: 0.11e-15,
+            },
+            MetalLayer {
+                name: "M2".into(),
+                dir: RouteDir::Vertical,
+                pitch: 280,
+                min_width: 140,
+                r_ohm_per_um: 0.90,
+                c_f_per_um: 0.11e-15,
+            },
+            MetalLayer {
+                name: "M3".into(),
+                dir: RouteDir::Horizontal,
+                pitch: 600,
+                min_width: 300,
+                r_ohm_per_um: 0.16,
+                c_f_per_um: 0.12e-15,
+            },
+            MetalLayer {
+                name: "M4".into(),
+                dir: RouteDir::Vertical,
+                pitch: 600,
+                min_width: 300,
+                r_ohm_per_um: 0.16,
+                c_f_per_um: 0.12e-15,
+            },
+        ];
+        let rules = DesignRules::derive(&fin, &metals);
+        Technology {
+            name: "sky130ish".to_string(),
+            vdd: 1.8,
+            fin,
+            metals,
+            rules,
+            electrical: ElectricalRules {
+                em_ma_per_um: 3.0,
+                em_ma_per_cut: vec![0.30, 0.35, 0.50, 0.70],
+                ir_frac_vdd: 0.05,
+                max_tap_distance_nm: 15_000,
+                sym_tolerance_nm: 100,
+            },
+            via_r: vec![9.0, 9.0, 3.4, 3.4],
+            via_c: 0.05e-15,
+            lde_n,
+            lde_p,
+            variation: VariationParams {
+                avth: 5.0e-9,
+                vth_gradient_per_um: 0.3e-3,
+            },
+            nmos: FetModel {
+                polarity: FetPolarity::Nmos,
+                vth0: 0.48,
+                kp: 180e-6,
+                lambda: 0.08,
+                n_slope: 1.5,
+                gamma: 0.45,
+                phi: 0.9,
+                cox: 0.008,
+                cgso: 0.35e-9,
+                cgdo: 0.35e-9,
+                cj: 1.0e-3,
+                cjsw: 0.12e-9,
+                temp_c: 27.0,
+            },
+            pmos: FetModel {
+                polarity: FetPolarity::Pmos,
+                vth0: 0.45,
+                kp: 60e-6,
+                lambda: 0.10,
+                n_slope: 1.55,
+                gamma: 0.40,
+                phi: 0.9,
+                cox: 0.008,
+                cgso: 0.35e-9,
+                cgdo: 0.35e-9,
+                cj: 1.1e-3,
+                cjsw: 0.13e-9,
+                temp_c: 27.0,
+            },
+        }
+    }
+
+    /// Metal layer by 1-based index (`try_metal(1)` = M1), or a typed error
+    /// if the layer is not in this node's stack.
+    pub fn try_metal(&self, layer: usize) -> Result<&MetalLayer, RuleError> {
+        if (1..=self.metals.len()).contains(&layer) {
+            Ok(&self.metals[layer - 1])
+        } else {
+            Err(RuleError::MetalOutOfRange {
+                layer,
+                count: self.metals.len(),
+            })
+        }
+    }
+
     /// Metal layer by 1-based index (`metal(1)` = M1).
     ///
     /// # Panics
     ///
-    /// Panics if the layer does not exist in this node.
+    /// Panics if the layer does not exist in this node; use
+    /// [`Technology::try_metal`] on flow paths.
     pub fn metal(&self, layer: usize) -> &MetalLayer {
-        assert!(
-            (1..=self.metals.len()).contains(&layer),
-            "metal layer M{layer} not in {}-layer stack",
-            self.metals.len()
-        );
-        &self.metals[layer - 1]
+        match self.try_metal(layer) {
+            Ok(m) => m,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// Number of metal layers.
@@ -748,18 +970,31 @@ impl Technology {
         self.electrical.em_ma_per_um * (m.min_width as f64 / 1000.0) * 1e-3
     }
 
+    /// Electromigration limit (A) of one via cut at a 1-based via level, or
+    /// a typed error if the level has no stored limit.
+    pub fn try_em_via_limit_a(&self, level: usize) -> Result<f64, RuleError> {
+        if (1..=self.electrical.em_ma_per_cut.len()).contains(&level) {
+            Ok(self.electrical.em_ma_per_cut[level - 1] * 1e-3)
+        } else {
+            Err(RuleError::ViaOutOfRange {
+                level,
+                count: self.electrical.em_ma_per_cut.len(),
+            })
+        }
+    }
+
     /// Electromigration limit (A) of one via cut at a 1-based via level
     /// (`em_via_limit_a(1)` = V1, the M1→M2 transition).
     ///
     /// # Panics
     ///
-    /// Panics if the via level does not exist in this node.
+    /// Panics if the via level does not exist in this node; use
+    /// [`Technology::try_em_via_limit_a`] on flow paths.
     pub fn em_via_limit_a(&self, level: usize) -> f64 {
-        assert!(
-            (1..=self.electrical.em_ma_per_cut.len()).contains(&level),
-            "via level V{level} not in stack"
-        );
-        self.electrical.em_ma_per_cut[level - 1] * 1e-3
+        match self.try_em_via_limit_a(level) {
+            Ok(v) => v,
+            Err(e) => panic!("via level V{level} not in stack: {e}"),
+        }
     }
 
     /// Number of parallel minimum-width routes needed to carry `amps` of
@@ -1080,8 +1315,55 @@ mod tests {
     }
 
     #[test]
+    fn sky130ish_node_is_stressed_but_coherent() {
+        let t = Technology::sky130ish();
+        assert_eq!(t.metals.len(), 5, "5 routing layers incl. LI");
+        assert_eq!(t.via_r.len(), 4);
+        assert_eq!(t.electrical.em_ma_per_cut.len(), 4);
+        // The deliberately stressed bits: LI is *wider* than the metal above
+        // it (non-monotone width quantization) and pitches are non-uniform.
+        assert!(t.metals[0].min_width > t.metals[1].min_width);
+        assert!(t.metals[0].name == "LI");
+        assert_ne!(t.metals[1].pitch, t.metals[3].pitch);
+        // Resistance still falls (weakly) going up; directions alternate.
+        for w in t.metals.windows(2) {
+            assert!(w[0].r_ohm_per_um >= w[1].r_ohm_per_um);
+            assert_ne!(w[0].dir, w[1].dir);
+        }
+        // Geometry contracts the cell generator relies on.
+        assert!(t.metals[0].pitch <= t.fin.poly_pitch);
+        assert!(t.fin.fin_pitch >= t.metals[0].min_width);
+        // Bottom-grid rule is named after LI, not a hardcoded "M1".
+        assert!(t.rules.grid("LI").is_some());
+    }
+
+    #[test]
+    fn try_accessors_report_typed_errors() {
+        let t = Technology::sky130ish();
+        assert_eq!(t.try_metal(5).map(|m| m.name.as_str()), Ok("M4"));
+        assert_eq!(
+            t.try_metal(6),
+            Err(RuleError::MetalOutOfRange { layer: 6, count: 5 })
+        );
+        assert!(t.rules.try_metal(1).is_ok());
+        assert_eq!(
+            t.rules.try_via(5),
+            Err(RuleError::ViaOutOfRange { level: 5, count: 4 })
+        );
+        assert!(t.try_em_via_limit_a(4).is_ok());
+        assert!(t.try_em_via_limit_a(5).is_err());
+        // The error renders the layer and the stack size.
+        let msg = t.try_metal(6).unwrap_err().to_string();
+        assert!(msg.contains("M6") && msg.contains("5-layer"), "{msg}");
+    }
+
+    #[test]
     fn design_rules_are_consistent_with_geometry() {
-        for tech in [Technology::finfet7(), Technology::bulk16()] {
+        for tech in [
+            Technology::finfet7(),
+            Technology::bulk16(),
+            Technology::sky130ish(),
+        ] {
             let rules = &tech.rules;
             assert_eq!(rules.grid_nm, 1);
             assert_eq!(rules.metal.len(), tech.metal_count());
@@ -1115,7 +1397,8 @@ mod tests {
                 poly.offset,
                 tech.fin.cell_width_overhead / 2 + (tech.fin.poly_pitch - tech.fin.gate_length) / 2
             );
-            assert!(rules.grid("M1").is_some());
+            // The stub grid is named after the deck's bottom routing layer.
+            assert!(rules.grid(&tech.metals[0].name).is_some());
         }
     }
 

@@ -24,7 +24,7 @@
 //! assert!(!placement.has_overlaps(&p));
 //! ```
 
-#![cfg_attr(test, allow(clippy::unwrap_used))]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 #![forbid(unsafe_code)]
 
 use prima_geom::{Nm, Point, Rect};
@@ -299,18 +299,18 @@ impl Placer {
                 reason: "no blocks".to_string(),
             });
         }
+        let mut pair_variants = Vec::with_capacity(problem.symmetry.len());
         for &(a, b) in &problem.symmetry {
-            let ok = problem.blocks[a]
-                .variants
-                .iter()
-                .any(|va| problem.blocks[b].variants.contains(va));
-            if !ok {
-                return Err(PlaceError::BadProblem {
-                    reason: format!(
-                        "symmetry pair ({}, {}) has no matching variant sizes",
-                        problem.blocks[a].name, problem.blocks[b].name
-                    ),
-                });
+            match matching_variants(problem, a, b) {
+                Some(v) => pair_variants.push((a, b, v)),
+                None => {
+                    return Err(PlaceError::BadProblem {
+                        reason: format!(
+                            "symmetry pair ({}, {}) has no matching variant sizes",
+                            problem.blocks[a].name, problem.blocks[b].name
+                        ),
+                    })
+                }
             }
         }
 
@@ -335,8 +335,7 @@ impl Placer {
                 .collect(),
             variants: vec![0; n],
         };
-        for &(a, b) in &problem.symmetry {
-            let (va, vb) = matching_variants(problem, a, b).expect("validated above");
+        for &(a, b, (va, vb)) in &pair_variants {
             state.variants[a] = va;
             state.variants[b] = vb;
             self.enforce_pair(problem, &mut state, a, b);

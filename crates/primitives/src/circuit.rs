@@ -182,6 +182,9 @@ pub(crate) fn build_scaffold(
             }
             for (d, geo) in def.spec.devices.iter().zip(layout.devices.iter()) {
                 debug_assert_eq!(d.name, geo.name, "spec/layout device order mismatch");
+                // `r_access > threshold >= 0` is guaranteed by the guard
+                // below, so the resistor insertion cannot fail.
+                #[allow(clippy::expect_used)]
                 let attach = |c: &mut Circuit, net: &str, term: &str| match internal.get(net) {
                     Some(&(hub, r_access)) => {
                         // Gate terminals carry no DC current and their RC

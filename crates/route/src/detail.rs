@@ -49,6 +49,14 @@ pub enum DetailError {
     /// The router's [`CancelToken`](prima_cache::CancelToken) tripped; the
     /// assignment was abandoned at a net boundary. Not retryable.
     Cancelled(prima_cache::Cancelled),
+    /// A segment referenced a metal layer outside the deck's stack — a
+    /// global-routing bug surfaced as a typed error instead of a panic.
+    BadLayer {
+        /// The net whose segment carried the bad layer.
+        net: String,
+        /// The underlying rule-lookup failure.
+        source: prima_pdk::RuleError,
+    },
 }
 
 impl std::fmt::Display for DetailError {
@@ -62,6 +70,9 @@ impl std::fmt::Display for DetailError {
                 write!(f, "symmetric pair of net {net} lost segment alignment")
             }
             DetailError::Cancelled(c) => write!(f, "detailed routing abandoned: {c}"),
+            DetailError::BadLayer { net, source } => {
+                write!(f, "net {net} routed on a layer outside the stack: {source}")
+            }
         }
     }
 }
@@ -336,6 +347,13 @@ impl<'t> DetailRouter<'t> {
         Ok(result)
     }
 
+    /// Min-space of a 1-based metal layer; 0 (no constraint) for a layer
+    /// outside the stack — callers only pass layers already validated by
+    /// segment assignment, so the fallback is never load-bearing.
+    fn min_space(&self, layer: usize) -> Nm {
+        self.tech.rules.try_metal(layer).map_or(0, |r| r.min_space)
+    }
+
     /// Attempts the fully symmetric (equal-shift) assignment of a pair,
     /// mutating `occupied` only on success of each segment pair.
     fn try_symmetric_pair(
@@ -361,7 +379,8 @@ impl<'t> DetailRouter<'t> {
                 .assign_segment_shifted(&partner.net, seg_b, kp, occupied, Some(shift))
                 .ok()
                 .filter(|(b_asgn, _)| {
-                    let gap = self.tech.rules.metal(a_asgn.layer).min_space;
+                    // Layer validated when the assignment was produced.
+                    let gap = self.min_space(a_asgn.layer);
                     !(a_asgn.layer == b_asgn.layer
                         && !spans_clear(a_asgn.span, b_asgn.span, gap)
                         && a_asgn.tracks.iter().any(|t| b_asgn.tracks.contains(t)))
@@ -416,7 +435,7 @@ impl<'t> DetailRouter<'t> {
                 if let (Ok((aa, _)), Ok((bb, _))) = (ra, rb) {
                     // The two assignments must also not collide with each
                     // other.
-                    let gap = self.tech.rules.metal(aa.layer).min_space;
+                    let gap = self.min_space(aa.layer);
                     let overlap = aa.layer == bb.layer
                         && !spans_clear(aa.span, bb.span, gap)
                         && aa.tracks.iter().any(|t| bb.tracks.contains(t));
@@ -442,7 +461,14 @@ impl<'t> DetailRouter<'t> {
         occupied: &HashMap<(usize, i64), Vec<(Nm, Nm)>>,
         fixed_shift: Option<i64>,
     ) -> Result<(TrackAssignment, i64), DetailError> {
-        let pitch = self.tech.metal(seg.layer).pitch;
+        let pitch = self
+            .tech
+            .try_metal(seg.layer)
+            .map_err(|source| DetailError::BadLayer {
+                net: net.to_string(),
+                source,
+            })?
+            .pitch;
         let horizontal = seg.from.y == seg.to.y;
         let perp = if horizontal { seg.from.y } else { seg.from.x };
         let base_track = perp.div_euclid(pitch);
@@ -462,7 +488,7 @@ impl<'t> DetailRouter<'t> {
                 v
             }
         };
-        let gap = self.tech.rules.metal(seg.layer).min_space;
+        let gap = self.min_space(seg.layer);
         for shift in shifts {
             let start = base_track + shift;
             let tracks: Vec<i64> = (0..k as i64).map(|d| start + d).collect();
@@ -499,7 +525,14 @@ impl<'t> DetailRouter<'t> {
         k: u32,
         occupied: &mut HashMap<(usize, i64), Vec<(Nm, Nm)>>,
     ) -> Result<TrackAssignment, DetailError> {
-        let pitch = self.tech.metal(seg.layer).pitch;
+        let pitch = self
+            .tech
+            .try_metal(seg.layer)
+            .map_err(|source| DetailError::BadLayer {
+                net: net.to_string(),
+                source,
+            })?
+            .pitch;
         let horizontal = seg.from.y == seg.to.y;
         // Track coordinate: the perpendicular axis.
         let perp = if horizontal { seg.from.y } else { seg.from.x };
@@ -511,7 +544,7 @@ impl<'t> DetailRouter<'t> {
         };
 
         // Search order: 0, +1, −1, +2, −2, …
-        let gap = self.tech.rules.metal(seg.layer).min_space;
+        let gap = self.min_space(seg.layer);
         for shift_mag in 0..=self.max_shift {
             for sign in [1i64, -1] {
                 if shift_mag == 0 && sign < 0 {

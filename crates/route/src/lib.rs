@@ -24,7 +24,7 @@
 //! assert!(n1.via_count > 0);
 //! ```
 
-#![cfg_attr(test, allow(clippy::unwrap_used))]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 #![forbid(unsafe_code)]
 
 pub mod detail;

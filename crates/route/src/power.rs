@@ -32,6 +32,19 @@ impl Default for PowerGridSpec {
     }
 }
 
+impl PowerGridSpec {
+    /// Grid parameters adapted to a deck: straps on the node's topmost
+    /// routing layer. The default spec hardcodes layer 6 — correct for the
+    /// two bundled six-metal nodes, a panic on a SKY130-style five-layer
+    /// stack. Flow paths use this constructor so the grid follows the deck.
+    pub fn for_tech(tech: &Technology) -> Self {
+        PowerGridSpec {
+            layer: tech.metal_count().clamp(1, 6),
+            ..Default::default()
+        }
+    }
+}
+
 /// Result of synthesizing a power grid over a placement.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PowerReport {
@@ -193,6 +206,18 @@ mod tests {
         assert!(hi.worst_drop_v > 5.0 * lo.worst_drop_v);
         // Effective R is current-normalized, so it stays put.
         assert!((hi.effective_r_ohm / lo.effective_r_ohm - 1.0).abs() < 0.3);
+    }
+
+    #[test]
+    fn for_tech_follows_the_stack() {
+        // Six-metal nodes keep the thick top layer; a five-layer SKY130-ish
+        // stack clamps to its real top instead of panicking mid-flow.
+        assert_eq!(PowerGridSpec::for_tech(&Technology::finfet7()).layer, 6);
+        let sky = Technology::sky130ish();
+        let spec = PowerGridSpec::for_tech(&sky);
+        assert_eq!(spec.layer, 5);
+        let r = synthesize(&sky, bbox(), &[], &spec);
+        assert!(r.strap_count > 0);
     }
 
     #[test]

@@ -190,6 +190,19 @@ pub enum ServeError {
     },
     /// The server is shutting down and accepts no new work.
     ShuttingDown,
+    /// The technology/library pair failed the static techlint analysis at
+    /// registration ([`BatchServer::try_new`]): the deck is inconsistent or
+    /// some library primitive can never render legally on it. Every batch
+    /// submitted against it would fail identically, so the tenant deck is
+    /// refused at the API boundary instead.
+    BadTechnology {
+        /// Deck (technology) name that was rejected.
+        deck: String,
+        /// Number of error-severity lint findings.
+        violations: usize,
+        /// First finding in canonical order, with its `TECH.*`/`LIB.*` id.
+        first: String,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -199,6 +212,16 @@ impl std::fmt::Display for ServeError {
                 write!(f, "overloaded: queue at capacity ({capacity})")
             }
             ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::BadTechnology {
+                deck,
+                violations,
+                first,
+            } => {
+                write!(
+                    f,
+                    "technology {deck:?} failed techlint with {violations} violation(s); first: {first}"
+                )
+            }
         }
     }
 }
@@ -331,7 +354,41 @@ pub struct BatchServer {
 }
 
 impl BatchServer {
-    /// Starts the worker pool over a technology and primitive library.
+    /// Starts the worker pool after statically linting the deck: the
+    /// registration-time gate. A technology whose rule tables drifted from
+    /// its stack — or on which some library primitive can never render a
+    /// legal cell — is refused here with the exact `TECH.*`/`LIB.*` rule
+    /// id, before any tenant burns queue capacity (and deadline budget) on
+    /// batches that would all fail the same way.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadTechnology`] when `prima_techlint::check_deck`
+    /// reports any error-severity finding.
+    pub fn try_new(
+        tech: Technology,
+        lib: Library,
+        config: ServeConfig,
+    ) -> Result<Self, ServeError> {
+        let report = prima_techlint::check_deck(&tech, &lib);
+        if !report.is_passing() {
+            return Err(ServeError::BadTechnology {
+                deck: tech.name.clone(),
+                violations: report.error_count(),
+                first: report
+                    .violations
+                    .iter()
+                    .find(|v| v.severity == prima_core::Severity::Error)
+                    .map(|v| v.to_string())
+                    .unwrap_or_default(),
+            });
+        }
+        Ok(Self::new(tech, lib, config))
+    }
+
+    /// Starts the worker pool over a pre-validated technology and primitive
+    /// library, skipping the registration lint ([`BatchServer::try_new`]) —
+    /// for decks that already passed a flow's techlint gate.
     pub fn new(tech: Technology, lib: Library, config: ServeConfig) -> Self {
         let hub = match &config.cache_dir {
             Some(dir) => CacheHub::persistent(dir.clone()),
@@ -775,6 +832,39 @@ mod tests {
 
     fn server(config: ServeConfig) -> BatchServer {
         BatchServer::new(Technology::finfet7(), Library::standard(), config)
+    }
+
+    #[test]
+    fn registration_lints_the_deck() {
+        // All bundled decks register cleanly…
+        for tech in [
+            Technology::finfet7(),
+            Technology::bulk16(),
+            Technology::sky130ish(),
+        ] {
+            let srv = BatchServer::try_new(
+                tech,
+                Library::standard(),
+                ServeConfig {
+                    workers: 0,
+                    ..ServeConfig::default()
+                },
+            )
+            .expect("bundled deck must register");
+            let _ = srv.finish();
+        }
+        // …while a deck whose EM table drifted from its via stack is
+        // refused at the boundary with the exact rule id, no worker spawned.
+        let mut broken = Technology::sky130ish();
+        broken.electrical.em_ma_per_cut.pop();
+        match BatchServer::try_new(broken, Library::standard(), ServeConfig::default()) {
+            Err(ServeError::BadTechnology { deck, first, .. }) => {
+                assert_eq!(deck, "sky130ish");
+                assert!(first.contains("TECH.EM.VIA"), "{first}");
+            }
+            Err(other) => panic!("expected BadTechnology, got {other}"),
+            Ok(_) => panic!("expected BadTechnology, got a running server"),
+        }
     }
 
     #[test]

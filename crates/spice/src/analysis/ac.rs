@@ -217,6 +217,10 @@ fn stamp_admittance(mat: &mut Matrix<Complex>, topo: &Topology, a: NodeId, b: No
     }
 }
 
+// The topology is derived from the very circuit being stamped, so every
+// branch element has a branch row and the operating point covers every FET;
+// `expect` documents that invariant rather than a recoverable condition.
+#[allow(clippy::expect_used)]
 fn assemble_ac(
     circuit: &Circuit,
     topo: &Topology,

@@ -276,6 +276,10 @@ impl DcSolver {
 ///
 /// Capacitors are open; inductors are 0 V branches; sources are scaled by
 /// `src_scale`; every node row gets `gmin` to ground.
+// The topology is derived from the very circuit being stamped, so every
+// branch element has a branch row; `expect` documents that invariant
+// rather than a recoverable condition.
+#[allow(clippy::expect_used)]
 pub(crate) fn assemble_dc(
     circuit: &Circuit,
     topo: &Topology,

@@ -360,6 +360,10 @@ impl ReactiveState {
     }
 
     /// Updates states after a step is accepted at solution `x`.
+    // State maps were seeded from this same circuit's elements and the
+    // topology from the same netlist, so every lookup is an invariant,
+    // not a recoverable condition.
+    #[allow(clippy::expect_used)]
     fn advance(&mut self, circuit: &Circuit, topo: &Topology, x: &[f64], dt: f64, method: Method) {
         for (idx, el) in circuit.elements().iter().enumerate() {
             match el {
@@ -453,6 +457,11 @@ fn stamp_cap_companion(
 }
 
 #[allow(clippy::too_many_arguments)]
+// The topology is derived from the very circuit being stamped, so every
+// branch element has a branch row and every reactive element a seeded
+// state entry; `expect` documents that invariant rather than a
+// recoverable condition.
+#[allow(clippy::expect_used)]
 fn assemble_tran(
     circuit: &Circuit,
     topo: &Topology,

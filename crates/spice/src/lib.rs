@@ -43,7 +43,7 @@
 //! assert!((op.voltage(mid) - 0.5).abs() < 1e-9);
 //! ```
 
-#![cfg_attr(test, allow(clippy::unwrap_used))]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod analysis;
 pub mod ctrl;

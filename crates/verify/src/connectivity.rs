@@ -163,7 +163,9 @@ fn check_shorts(tech: &Technology, detailed: &DetailedResult) -> Vec<Violation> 
                 if !y.tracks.contains(&t) {
                     continue;
                 }
-                let m = tech.metal(x.layer);
+                let Ok(m) = tech.try_metal(x.layer) else {
+                    continue;
+                };
                 let center = t * m.pitch;
                 let (lo, hi) = (xl.max(yl), xh.min(yh));
                 let rect = match m.dir {
@@ -184,7 +186,7 @@ fn check_shorts(tech: &Technology, detailed: &DetailedResult) -> Vec<Violation> 
                     scope: Some(format!("{} ↔ {}", x.net, y.net)),
                     rects: vec![rect],
                     found: Some(0),
-                    required: Some(tech.rules.metal(x.layer).min_space),
+                    required: tech.rules.try_metal(x.layer).ok().map(|r| r.min_space),
                     message: format!(
                         "nets {} and {} share {} track {t} with overlapping spans",
                         x.net, y.net, m.name

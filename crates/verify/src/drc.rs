@@ -239,13 +239,16 @@ pub fn check_layer(
     out
 }
 
-fn mask_rule(rules: &DesignRules, layer: MaskLayer) -> Option<(&'static str, &LayerRule)> {
+/// Deck rule for a mask layer. The name is taken from the deck itself (a
+/// SKY130-style node calls its bottom routing layer `LI`, not `M1`), so
+/// rule ids follow the deck's own vocabulary.
+fn mask_rule(rules: &DesignRules, layer: MaskLayer) -> Option<(&str, &LayerRule)> {
     match layer {
-        MaskLayer::Diffusion => rules.feol("diff").map(|r| ("diff", r)),
-        MaskLayer::Fin => rules.feol("fin").map(|r| ("fin", r)),
-        MaskLayer::Poly | MaskLayer::DummyPoly => rules.feol("poly").map(|r| ("poly", r)),
-        MaskLayer::M1 => rules.metal.first().map(|r| ("M1", r)),
-        MaskLayer::M2 => rules.metal.get(1).map(|r| ("M2", r)),
+        MaskLayer::Diffusion => rules.feol("diff").map(|r| (r.layer.as_str(), r)),
+        MaskLayer::Fin => rules.feol("fin").map(|r| (r.layer.as_str(), r)),
+        MaskLayer::Poly | MaskLayer::DummyPoly => rules.feol("poly").map(|r| (r.layer.as_str(), r)),
+        MaskLayer::M1 => rules.metal.first().map(|r| (r.layer.as_str(), r)),
+        MaskLayer::M2 => rules.metal.get(1).map(|r| (r.layer.as_str(), r)),
         MaskLayer::Boundary => None,
     }
 }
@@ -256,14 +259,14 @@ fn mask_rule(rules: &DesignRules, layer: MaskLayer) -> Option<(&'static str, &La
 /// them.
 pub fn check_cell(rules: &DesignRules, geometry: &CellGeometry, instance: &str) -> Vec<Violation> {
     let mut out = Vec::new();
-    let layer_names: [(&str, &[MaskLayer]); 5] = [
-        ("diff", &[MaskLayer::Diffusion]),
-        ("fin", &[MaskLayer::Fin]),
-        ("poly", &[MaskLayer::Poly, MaskLayer::DummyPoly]),
-        ("M1", &[MaskLayer::M1]),
-        ("M2", &[MaskLayer::M2]),
+    let mask_groups: [&[MaskLayer]; 5] = [
+        &[MaskLayer::Diffusion],
+        &[MaskLayer::Fin],
+        &[MaskLayer::Poly, MaskLayer::DummyPoly],
+        &[MaskLayer::M1],
+        &[MaskLayer::M2],
     ];
-    for (name, masks) in layer_names {
+    for masks in mask_groups {
         let shapes: Vec<Shape> = geometry
             .rects
             .iter()
@@ -276,7 +279,7 @@ pub fn check_cell(rules: &DesignRules, geometry: &CellGeometry, instance: &str) 
         if shapes.is_empty() {
             continue;
         }
-        let Some((_, rule)) = mask_rule(rules, masks[0]) else {
+        let Some((name, rule)) = mask_rule(rules, masks[0]) else {
             continue;
         };
         out.extend(check_layer(
@@ -425,7 +428,9 @@ pub fn check_routing(tech: &Technology, wires: &[Wire]) -> Vec<Violation> {
         if shapes.is_empty() {
             continue;
         }
-        let rule = tech.rules.metal(layer);
+        let Ok(rule) = tech.rules.try_metal(layer) else {
+            continue;
+        };
         out.extend(check_layer(
             &rule.layer.clone(),
             rule,
@@ -478,7 +483,9 @@ pub fn check_vias(tech: &Technology, wires: &[Wire]) -> Vec<Violation> {
                 continue;
             }
             let lower = a.layer.min(b.layer);
-            let via = tech.rules.via(lower);
+            let Ok(via) = tech.rules.try_via(lower) else {
+                continue;
+            };
             let ox = a.rect.hi.x.min(b.rect.hi.x) - a.rect.lo.x.max(b.rect.lo.x);
             let oy = a.rect.hi.y.min(b.rect.hi.y) - a.rect.lo.y.max(b.rect.lo.y);
             if ox.min(oy) < via.cut {
@@ -634,7 +641,11 @@ mod tests {
     fn rendered_cells_are_clean_on_both_nodes() {
         use prima_layout::{render, CellConfig, DeviceSpec, PlacementPattern, PrimitiveSpec};
         use prima_spice::devices::FetPolarity;
-        for tech in [Technology::finfet7(), Technology::bulk16()] {
+        for tech in [
+            Technology::finfet7(),
+            Technology::bulk16(),
+            Technology::sky130ish(),
+        ] {
             let dp = PrimitiveSpec::new(
                 "dp",
                 vec![

@@ -5,7 +5,7 @@
 //! must be *caught* under the expected rule id — a checker that never
 //! fires is indistinguishable from one that never looks.
 
-#![allow(clippy::unwrap_used)]
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use prima_flow::circuits::{CsAmp, FiveTOta, RoVco, StrongArm};
 use prima_flow::{conventional_flow, optimized_flow};

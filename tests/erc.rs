@@ -7,7 +7,7 @@
 //! and deliberately seeded violations of every electrical rule class must
 //! be *caught* under the expected rule id with the expected magnitudes.
 
-#![allow(clippy::unwrap_used)]
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use std::collections::HashMap;
 

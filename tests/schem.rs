@@ -13,7 +13,7 @@
 //! 3. A proptest that graph construction and the full lint suite are
 //!    total and deterministic under shuffled instance insertion order.
 
-#![allow(clippy::unwrap_used)]
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use std::collections::HashMap;
 use std::time::Instant;
@@ -197,13 +197,18 @@ fn supply_short_fixture_is_rejected_with_exact_rule() {
 #[test]
 fn floating_gate_fixture_is_rejected_with_exact_rule() {
     let (tech, mut lib) = env();
-    // An amplifier whose gate net is internal and undriven: no wire can
-    // ever reach it.
+    // An amplifier with a second branch whose gate net is internal and
+    // undriven: no wire can ever reach it. Every declared port stays
+    // bound in the template so the library survives the techlint gate
+    // and the defect reaches schem's graph analysis.
     let mut def = lib.get("cs_amp").cloned().unwrap();
     def.name = "float_amp".to_string();
     def.spec = PrimitiveSpec::new(
         "float_amp",
-        vec![DeviceSpec::new("M1", FetPolarity::Nmos, "out", "fg", "vss")],
+        vec![
+            DeviceSpec::new("M1", FetPolarity::Nmos, "out", "in", "vss"),
+            DeviceSpec::new("M2", FetPolarity::Nmos, "out", "fg", "vss"),
+        ],
     );
     lib.upsert(def);
     let mut spec = CsAmp::spec();

@@ -1,7 +1,7 @@
 //! Integration tests for the SPICE text front end: decks that exercise the
 //! parser, the PDK model cards, and all three analyses together.
 
-#![allow(clippy::unwrap_used)]
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use prima_pdk::Technology;
 use prima_spice::analysis::ac::{AcSolver, FrequencySweep};
