@@ -31,6 +31,7 @@ const EXHIBITS: &[&str] = &[
     "resilience",
     "cache",
     "serve",
+    "corners",
 ];
 
 fn main() {
@@ -113,5 +114,8 @@ fn main() {
     }
     if run("serve") {
         println!("{}", serve_summary(&env));
+    }
+    if run("corners") {
+        println!("{}", corners_summary(&env));
     }
 }

@@ -21,22 +21,26 @@ pub enum Phase {
     PortConstraints,
     /// Algorithm 2 step 2: reconciliation re-simulation.
     Reconciliation,
+    /// PVT corner / Monte-Carlo mismatch re-evaluation of surviving
+    /// candidates (the variation stage layered on top of Algorithm 1).
+    Corners,
 }
 
 impl Phase {
     /// All phases in flow order.
-    pub const ALL: [Phase; 4] = [
+    pub const ALL: [Phase; 5] = [
         Phase::Selection,
         Phase::Tuning,
         Phase::PortConstraints,
         Phase::Reconciliation,
+        Phase::Corners,
     ];
 }
 
 /// Thread-safe simulation counter, cloneable across worker threads.
 #[derive(Debug, Clone, Default)]
 pub struct SimCounter {
-    counts: Arc<Mutex<[usize; 4]>>,
+    counts: Arc<Mutex<[usize; 5]>>,
 }
 
 impl SimCounter {
@@ -62,7 +66,7 @@ impl SimCounter {
 
     /// Resets all counts to zero.
     pub fn reset(&self) {
-        *self.counts.lock() = [0; 4];
+        *self.counts.lock() = [0; 5];
     }
 }
 
@@ -72,6 +76,7 @@ fn phase_index(phase: Phase) -> usize {
         Phase::Tuning => 1,
         Phase::PortConstraints => 2,
         Phase::Reconciliation => 3,
+        Phase::Corners => 4,
     }
 }
 

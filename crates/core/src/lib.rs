@@ -141,6 +141,12 @@ impl From<LayoutError> for OptError {
 #[derive(Debug)]
 pub struct Optimizer<'t> {
     tech: &'t Technology,
+    /// Content fingerprint of `tech`, computed once at construction and
+    /// folded into every [`EvalKey`]. For a nominal deck this equals the
+    /// cache's own fingerprint; a corner- or mismatch-perturbed deck gets
+    /// its own address space inside the same cache file, so warm corner
+    /// sweeps hit while nominal entries are never aliased.
+    tech_fp: prima_cache::Fingerprint,
     counter: SimCounter,
     cache: Option<Arc<EvalCache>>,
     /// Solver limits + cancel token installed around every evaluation.
@@ -156,6 +162,7 @@ impl<'t> Optimizer<'t> {
     pub fn new(tech: &'t Technology) -> Self {
         Optimizer {
             tech,
+            tech_fp: tech.fingerprint(),
             counter: SimCounter::new(),
             cache: None,
             ctrl: SolveCtrl::default(),
@@ -174,8 +181,16 @@ impl<'t> Optimizer<'t> {
         &self.counter
     }
 
-    /// Attaches a content-addressed evaluation cache. The cache must have
-    /// been opened under this optimizer's technology fingerprint.
+    /// Replaces the simulation counter with a shared one, so several
+    /// optimizers (e.g. one per PVT corner) account into a single ledger.
+    pub fn set_counter(&mut self, counter: SimCounter) {
+        self.counter = counter;
+    }
+
+    /// Attaches a content-addressed evaluation cache. Keys are addressed
+    /// by this optimizer's own technology fingerprint, so a cache opened
+    /// under the nominal deck can be shared with corner-perturbed
+    /// optimizers without aliasing nominal entries.
     pub fn set_cache(&mut self, cache: Arc<EvalCache>) {
         self.cache = Some(cache);
     }
@@ -228,8 +243,8 @@ impl<'t> Optimizer<'t> {
             .cache
             .as_deref()
             .filter(|c| c.is_enabled())
-            .map(|c| EvalKey {
-                tech: c.tech_fingerprint(),
+            .map(|_| EvalKey {
+                tech: self.tech_fp,
                 def: def.fingerprint(),
                 view: view.fingerprint(),
                 bias: bias.fingerprint(),

@@ -89,12 +89,29 @@ impl<'t> Optimizer<'t> {
         bias: &Bias,
         total_fins: u64,
     ) -> Result<MetricValues, OptError> {
+        self.schematic_reference_at(def, bias, total_fins, Phase::Selection)
+    }
+
+    /// [`Optimizer::schematic_reference`] with an explicit accounting
+    /// phase, so corner re-evaluations charge `Phase::Corners` rather than
+    /// selection.
+    ///
+    /// # Errors
+    ///
+    /// Propagates testbench failures.
+    pub fn schematic_reference_at(
+        &self,
+        def: &PrimitiveDef,
+        bias: &Bias,
+        total_fins: u64,
+        phase: Phase,
+    ) -> Result<MetricValues, OptError> {
         self.eval_values(
             def,
             LayoutView::Schematic { total_fins },
             bias,
             &Default::default(),
-            Phase::Selection,
+            phase,
         )
     }
 

@@ -1,0 +1,538 @@
+//! The flow's variation stage: corner-aware candidate gating plus the
+//! seeded Monte-Carlo yield estimate.
+//!
+//! Runs between Algorithm 1 (selection + tuning) and placement. Every
+//! live bin's active candidate is re-evaluated across the enabled corner
+//! set and gated on *worst-case* satisfaction; the gate is
+//! corner-relative — the schematic reference is recomputed at each corner,
+//! so the cost measures the layout-induced degradation *at that corner*
+//! rather than the corner's raw metric shift (which even a perfect layout
+//! cannot avoid). The allowance mirrors the selection stage's quality
+//! guard: `max(alpha × nominal cost, nominal cost + beta)`.
+//!
+//! A candidate that fails only at a corner is repaired exactly like a
+//! gate failure: its evaluation is ledgered and the bin's cursor falls
+//! back to the next-best candidate, under the explicit corner budget.
+//! When the budget (or the bin) exhausts, the stage keeps the candidate
+//! with the best worst-case margin seen, emits a degraded-severity
+//! `CORNER.EXHAUSTED` diagnostic, and lets the flow continue — corner
+//! trouble degrades an outcome, it never turns a placeable circuit into
+//! an error. Cancellation is different: every corner and sample boundary
+//! checkpoints the token, so serve deadlines unwind promptly.
+//!
+//! Technologies perturbed here change only model cards, supply, and
+//! temperature, so each corner optimizer addresses the shared evaluation
+//! cache under its own technology fingerprint: warm corner sweeps hit,
+//! nominal entries are never aliased.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use prima_cache::EvalCache;
+use prima_core::{
+    CancelToken, EvalLedger, OptError, Optimizer, Phase, ResilienceReport, RuleKind, Severity,
+    SimCounter, SolverLimits, Violation,
+};
+use prima_corners::{
+    corner_bias, instance_fingerprint, CornerMeasure, CornerOptions, CornerReport, InstanceCorners,
+    McYield, MismatchSampler,
+};
+use prima_layout::PrimitiveLayout;
+use prima_pdk::{CornerSpec, Technology};
+use prima_primitives::{Bias, Library, MetricValues, PrimitiveDef};
+
+use crate::flows::{checkpoint, tuned_candidate, InstState};
+use crate::FlowError;
+
+/// Relative 1-sigma of the Monte-Carlo mobility (kp) scale. The decks
+/// carry a Pelgrom coefficient for V_th but none for beta; 1% is the
+/// standard order for current-factor mismatch at these device sizes.
+const SIGMA_MOBILITY: f64 = 0.01;
+
+/// Everything the stage borrows from the running flow.
+pub(crate) struct CornerCtx<'a, 't> {
+    /// Nominal technology.
+    pub tech: &'t Technology,
+    /// Primitive library.
+    pub lib: &'a Library,
+    /// The nominal optimizer (fallback candidates re-tune at nominal).
+    pub opt: &'a Optimizer<'t>,
+    /// Sweep options.
+    pub copts: &'a CornerOptions,
+    /// Whether tuning is enabled (fallback candidates follow the flow).
+    pub tuning: bool,
+    /// Solver limits corner evaluations run under (same as nominal).
+    pub solver: &'a SolverLimits,
+    /// Shared evaluation cache, if the flow opened one.
+    pub cache: Option<Arc<EvalCache>>,
+    /// Cooperative cancellation handle.
+    pub cancel: &'a Option<CancelToken>,
+}
+
+impl CornerCtx<'_, '_> {
+    /// An optimizer over a perturbed deck sharing this flow's cache,
+    /// solver limits, cancel token, and simulation counter.
+    fn perturbed_opt<'p>(&self, tech: &'p Technology, counter: &SimCounter) -> Optimizer<'p> {
+        let mut o = Optimizer::new(tech);
+        if let Some(cache) = &self.cache {
+            o.set_cache(cache.clone());
+        }
+        o.set_solver_limits(self.solver.clone());
+        if let Some(token) = self.cancel {
+            o.set_cancel(token.clone());
+        }
+        o.set_counter(counter.clone());
+        o
+    }
+}
+
+/// A degraded-severity lint for one corner incident.
+fn corner_violation(rule_id: &str, scope: &str, message: String) -> Violation {
+    Violation {
+        rule_id: rule_id.to_string(),
+        kind: RuleKind::Lint,
+        severity: Severity::Degraded,
+        layer: None,
+        scope: Some(scope.to_string()),
+        rects: Vec::new(),
+        found: None,
+        required: None,
+        message,
+    }
+}
+
+/// Cost of one layout against the *corner's own* schematic reference.
+/// `Ok(f64::INFINITY)` is a corner failure (non-convergence or any other
+/// evaluation error at the corner); cancellation unwinds as an error.
+fn eval_at(
+    opt_c: &Optimizer,
+    def: &PrimitiveDef,
+    bias_c: &Bias,
+    sch_c: &MetricValues,
+    layout: &PrimitiveLayout,
+) -> Result<f64, FlowError> {
+    match opt_c.evaluate_layout(def, bias_c, layout.clone(), sch_c, Phase::Corners) {
+        Ok(e) => Ok(e.cost),
+        Err(OptError::Cancelled(c)) => Err(FlowError::Cancelled(c)),
+        Err(_) => Ok(f64::INFINITY),
+    }
+}
+
+/// The corner's schematic reference, or `None` when the corner itself
+/// fails to converge at the schematic level (every candidate then fails
+/// this corner). Cancellation unwinds as an error.
+fn schematic_at(
+    opt_c: &Optimizer,
+    def: &PrimitiveDef,
+    bias_c: &Bias,
+    total_fins: u64,
+) -> Result<Option<MetricValues>, FlowError> {
+    match opt_c.schematic_reference_at(def, bias_c, total_fins, Phase::Corners) {
+        Ok(v) => Ok(Some(v)),
+        Err(OptError::Cancelled(c)) => Err(FlowError::Cancelled(c)),
+        Err(_) => Ok(None),
+    }
+}
+
+/// One corner's prepared evaluation environment.
+struct CornerEnv {
+    spec: CornerSpec,
+    tech: Technology,
+}
+
+/// The measures of one candidate across the corner environments, plus the
+/// worst margin and first failing corner.
+struct SweepResult {
+    measures: Vec<CornerMeasure>,
+    worst_margin: f64,
+    worst_corner: String,
+    failed_at: Option<String>,
+}
+
+/// Runs the corner gating + Monte-Carlo stage over the selection states.
+/// Mutates the states' cursors/active candidates through corner repair;
+/// never fails except on cancellation or a missing library definition.
+pub(crate) fn corner_stage(
+    ctx: &CornerCtx<'_, '_>,
+    states: &mut [(String, InstState)],
+    ledger: &mut EvalLedger,
+    resilience: &mut ResilienceReport,
+) -> Result<CornerReport, FlowError> {
+    let copts = ctx.copts;
+    let counter = ctx.opt.counter().clone();
+    let mut diagnostics: Vec<Violation> = Vec::new();
+
+    // Resolve the enabled corner list against the deck's table. Unknown
+    // names degrade (the rest of the sweep still runs) rather than error.
+    let table = &ctx.tech.corners;
+    let envs: Vec<CornerEnv> = match &copts.corners {
+        None => table.corners.clone(),
+        Some(names) => names
+            .iter()
+            .filter_map(|n| match table.get(n) {
+                Some(c) => Some(c.clone()),
+                None => {
+                    diagnostics.push(corner_violation(
+                        "CORNER.UNKNOWN",
+                        n,
+                        format!(
+                            "corner {n:?} is not in {}'s table ({:?}); skipped",
+                            ctx.tech.name,
+                            table.names()
+                        ),
+                    ));
+                    None
+                }
+            })
+            .collect(),
+    }
+    .into_iter()
+    .map(|spec| CornerEnv {
+        tech: ctx.tech.apply_corner(&spec),
+        spec,
+    })
+    .collect();
+    for v in &diagnostics {
+        resilience.record("corners", &v.rule_id, v.message.clone());
+    }
+
+    let mut instances: Vec<InstanceCorners> = Vec::new();
+    let mut total_fallbacks = 0usize;
+
+    // ---- Worst-case corner gating with bounded candidate fallback -------
+    // Instances sharing (def, sizing, bias) were selected together and
+    // still share identical cursors here, so gating decisions computed for
+    // the first member are replayed onto the rest (Monte-Carlo below stays
+    // per-instance: draws are keyed by instance name).
+    type GroupKey = (String, u64, Bias);
+    // key -> (index into `instances`, representative state index)
+    let mut done: Vec<(GroupKey, usize, usize)> = Vec::new();
+    for si in 0..states.len() {
+        checkpoint(ctx.cancel)?;
+        let (name, st) = &states[si];
+        let name = name.clone();
+        let def = ctx
+            .lib
+            .get(&st.def)
+            .ok_or_else(|| FlowError::UnknownPrimitive {
+                name: st.def.clone(),
+            })?;
+        let total_fins = st
+            .active
+            .first()
+            .map(|(l, _)| l.config.total_fins())
+            .unwrap_or(0);
+        let key: GroupKey = (st.def.clone(), total_fins, st.bias.clone());
+        if let Some(&(_, idx, rep_si)) = done.iter().find(|(k, ..)| *k == key) {
+            // Replay the representative's gating outcome onto this member:
+            // same ranked bins, same bias — the gate decisions are
+            // identical, so only the cursors/actives need copying.
+            let rep = instances[idx].clone();
+            let (cursor, active, dead) = {
+                let (_, rs) = &states[rep_si];
+                (rs.cursor.clone(), rs.active.clone(), rs.dead.clone())
+            };
+            let (_, st) = &mut states[si];
+            st.cursor = cursor;
+            st.active = active;
+            st.dead = dead;
+            instances.push(InstanceCorners {
+                instance: name,
+                ..rep
+            });
+            continue;
+        }
+
+        let (_, st) = &mut states[si];
+        let live: Vec<usize> = (0..st.active.len()).filter(|&i| !st.dead[i]).collect();
+        let mut inst_fallbacks = 0usize;
+        // Per-bin gating; the instance's reported measures come from its
+        // best-cost live bin after repair.
+        let mut per_bin: HashMap<usize, SweepResult> = HashMap::new();
+        for &bin in &live {
+            let mut attempts = 0usize;
+            // Best candidate seen in this bin by worst-case margin, for
+            // restoration when the budget exhausts.
+            let mut best: Option<(f64, (PrimitiveLayout, f64), SweepResult)> = None;
+            loop {
+                checkpoint(ctx.cancel)?;
+                let nominal_cost = st.active[bin].1;
+                let allowance = copts.allowance(nominal_cost);
+                let sweep = sweep_candidate(
+                    ctx,
+                    &counter,
+                    &envs,
+                    def,
+                    &st.bias,
+                    total_fins,
+                    &st.active[bin].0,
+                    allowance,
+                )?;
+                // The current candidate's verdict decides whether to keep
+                // repairing; `best` tracks the best worst-case margin seen
+                // for restoration on exhaustion. A passing candidate always
+                // wins (its worst margin is ≥ 0, a failing one's is < 0).
+                let current_failed = sweep.failed_at.clone();
+                if best.as_ref().is_none_or(|(m, ..)| sweep.worst_margin > *m) {
+                    best = Some((sweep.worst_margin, st.active[bin].clone(), sweep));
+                }
+                let Some(fail_corner) = current_failed else {
+                    break; // every corner passed
+                };
+                if attempts >= copts.repair_attempts {
+                    // Budget exhausted: restore the best-margin candidate
+                    // and degrade.
+                    if let Some((_, cand, _)) = &best {
+                        st.active[bin] = cand.clone();
+                    }
+                    let v = corner_violation(
+                        "CORNER.EXHAUSTED",
+                        &name,
+                        format!(
+                            "corner repair budget ({}) exhausted in bin {bin}: \
+                             candidate still fails at corner {fail_corner:?}; \
+                             keeping best worst-case candidate",
+                            copts.repair_attempts
+                        ),
+                    );
+                    resilience.record("corners", &v.rule_id, v.message.clone());
+                    diagnostics.push(v);
+                    break;
+                }
+                // Ledger the failing candidate and fall back.
+                let cur = st.cursor.current(bin);
+                if let Some(&cand) = st.bins[bin].candidates.get(cur) {
+                    if !ledger.is_failed(&st.def, cand) {
+                        ledger.record(
+                            &st.def,
+                            cand,
+                            false,
+                            format!("failed corner gate at {fail_corner:?}"),
+                        );
+                    }
+                }
+                let pairs = st.bins[bin].id_pairs(&st.def);
+                match st.cursor.demote(bin, &pairs, ledger) {
+                    Some(rank) => {
+                        if let Some(pick) = st.bins[bin].ranked.get(rank) {
+                            st.active[bin] = tuned_candidate(
+                                ctx.opt, def, &st.bias, pick, ctx.tuning, resilience, &name,
+                            );
+                        }
+                        attempts += 1;
+                        inst_fallbacks += 1;
+                        resilience.record(
+                            "corners",
+                            &name,
+                            format!(
+                                "corner gate failed at {fail_corner:?}; \
+                                 bin {bin} fell back to rank {rank}"
+                            ),
+                        );
+                    }
+                    None => {
+                        // Bin exhausted. Drop it if the instance keeps
+                        // another live bin; otherwise restore and degrade.
+                        let other_live = st.dead.iter().enumerate().any(|(i, d)| !d && i != bin);
+                        if other_live {
+                            st.dead[bin] = true;
+                            resilience.record(
+                                "corners",
+                                &name,
+                                format!(
+                                    "corner gate failed at {fail_corner:?}; \
+                                     bin {bin} exhausted, dropped"
+                                ),
+                            );
+                        } else {
+                            if let Some((_, cand, _)) = &best {
+                                st.active[bin] = cand.clone();
+                            }
+                            let v = corner_violation(
+                                "CORNER.EXHAUSTED",
+                                &name,
+                                format!(
+                                    "all candidates in the last live bin {bin} fail at \
+                                     corner {fail_corner:?}; keeping best worst-case candidate"
+                                ),
+                            );
+                            resilience.record("corners", &v.rule_id, v.message.clone());
+                            diagnostics.push(v);
+                        }
+                        break;
+                    }
+                }
+            }
+            if !st.dead[bin] {
+                if let Some((_, _, sweep)) = best {
+                    per_bin.insert(bin, sweep);
+                }
+            }
+        }
+
+        // Report the best-cost live bin's measures.
+        let report_bin = (0..st.active.len())
+            .filter(|&i| !st.dead[i] && per_bin.contains_key(&i))
+            .min_by(|&a, &b| st.active[a].1.total_cmp(&st.active[b].1));
+        let (measures, worst_margin, worst_corner, nominal_cost) = match report_bin {
+            Some(bin) => {
+                let s = &per_bin[&bin];
+                (
+                    s.measures.clone(),
+                    s.worst_margin,
+                    s.worst_corner.clone(),
+                    st.active[bin].1,
+                )
+            }
+            None => (Vec::new(), f64::INFINITY, String::new(), f64::NAN),
+        };
+        total_fallbacks += inst_fallbacks;
+        done.push((key, instances.len(), si));
+        instances.push(InstanceCorners {
+            instance: name,
+            def: st.def.clone(),
+            nominal_cost,
+            measures,
+            worst_margin,
+            worst_corner,
+            fallbacks: inst_fallbacks,
+            mc_passed: None,
+        });
+    }
+
+    // ---- Seeded Monte-Carlo mismatch yield ------------------------------
+    let mc = if copts.mc_samples > 0 {
+        Some(run_mc(ctx, &counter, states, &mut instances)?)
+    } else {
+        None
+    };
+
+    let worst_margin = instances
+        .iter()
+        .map(|i| i.worst_margin)
+        .fold(f64::INFINITY, f64::min);
+    Ok(CornerReport {
+        corners: envs.iter().map(|e| e.spec.name.clone()).collect(),
+        instances,
+        worst_margin,
+        mc,
+        sims: counter.count(Phase::Corners),
+        diagnostics,
+        fallbacks: total_fallbacks,
+    })
+}
+
+/// Evaluates one candidate across all corner environments.
+#[allow(clippy::too_many_arguments)]
+fn sweep_candidate(
+    ctx: &CornerCtx<'_, '_>,
+    counter: &SimCounter,
+    envs: &[CornerEnv],
+    def: &PrimitiveDef,
+    bias: &Bias,
+    total_fins: u64,
+    layout: &PrimitiveLayout,
+    allowance: f64,
+) -> Result<SweepResult, FlowError> {
+    let mut measures = Vec::with_capacity(envs.len());
+    let mut worst_margin = f64::INFINITY;
+    let mut worst_corner = String::new();
+    let mut failed_at = None;
+    for env in envs {
+        checkpoint(ctx.cancel)?;
+        let opt_c = ctx.perturbed_opt(&env.tech, counter);
+        let bias_c = corner_bias(ctx.tech, bias, &env.spec);
+        let cost = match schematic_at(&opt_c, def, &bias_c, total_fins)? {
+            Some(sch_c) => eval_at(&opt_c, def, &bias_c, &sch_c, layout)?,
+            None => f64::INFINITY,
+        };
+        let margin = allowance - cost;
+        let pass = cost <= allowance;
+        if !pass && failed_at.is_none() {
+            failed_at = Some(env.spec.name.clone());
+        }
+        if margin < worst_margin {
+            worst_margin = margin;
+            worst_corner = env.spec.name.clone();
+        }
+        measures.push(CornerMeasure {
+            corner: env.spec.name.clone(),
+            cost,
+            margin,
+            pass,
+        });
+    }
+    Ok(SweepResult {
+        measures,
+        worst_margin,
+        worst_corner,
+        failed_at,
+    })
+}
+
+/// Runs the per-instance mismatch samples and folds them into a circuit
+/// yield: a sample passes when *every* instance passes its gate under its
+/// own draw.
+fn run_mc(
+    ctx: &CornerCtx<'_, '_>,
+    counter: &SimCounter,
+    states: &[(String, InstState)],
+    instances: &mut [InstanceCorners],
+) -> Result<McYield, FlowError> {
+    let copts = ctx.copts;
+    let sampler = MismatchSampler::new(copts.mc_seed);
+    let mut sample_pass = vec![true; copts.mc_samples as usize];
+    for (name, st) in states {
+        checkpoint(ctx.cancel)?;
+        let def = ctx
+            .lib
+            .get(&st.def)
+            .ok_or_else(|| FlowError::UnknownPrimitive {
+                name: st.def.clone(),
+            })?;
+        // The instance's best live candidate is the one gated.
+        let Some((layout, nominal_cost)) = (0..st.active.len())
+            .filter(|&i| !st.dead[i])
+            .min_by(|&a, &b| st.active[a].1.total_cmp(&st.active[b].1))
+            .map(|i| (&st.active[i].0, st.active[i].1))
+        else {
+            continue;
+        };
+        let total_fins = layout.config.total_fins();
+        let allowance = copts.allowance(nominal_cost);
+        // Pelgrom sigma at this sizing (same geometry the offset
+        // testbench uses for the schematic view).
+        let sigma_vth = ctx.tech.variation.sigma_vth(
+            ctx.tech.fin.weff_m((total_fins as u32).max(1)),
+            ctx.tech.fin.gate_length as f64 * 1e-9,
+        );
+        let fp = instance_fingerprint(name, &st.def, total_fins);
+        let mut passed = 0u32;
+        for s in 0..copts.mc_samples {
+            checkpoint(ctx.cancel)?;
+            let draw = sampler.draw(fp, s);
+            let mtech = ctx.tech.apply_mismatch(
+                draw.z_vth * sigma_vth,
+                (1.0 + SIGMA_MOBILITY * draw.z_mobility).clamp(0.5, 1.5),
+            );
+            let opt_m = ctx.perturbed_opt(&mtech, counter);
+            let cost = match schematic_at(&opt_m, def, &st.bias, total_fins)? {
+                Some(sch_m) => eval_at(&opt_m, def, &st.bias, &sch_m, layout)?,
+                None => f64::INFINITY,
+            };
+            if cost <= allowance {
+                passed += 1;
+            } else {
+                sample_pass[s as usize] = false;
+            }
+        }
+        if let Some(inst) = instances.iter_mut().find(|i| i.instance == *name) {
+            inst.mc_passed = Some(passed);
+        }
+    }
+    Ok(McYield {
+        seed: copts.mc_seed,
+        samples: copts.mc_samples,
+        passed: sample_pass.iter().filter(|p| **p).count() as u32,
+    })
+}

@@ -16,6 +16,7 @@ use prima_core::{
     FaultInjector, FaultPlan, GlobalRoute, NoFaults, Optimizer, Phase, PortConstraint,
     RepairBudgets, RepairCursor, ResilienceReport, RuleKind, Severity, SolverLimits, Violation,
 };
+use prima_corners::{CornerPolicy, CornerReport};
 use prima_geom::Point;
 use prima_layout::{generate, render, CellConfig, PlacementPattern, PrimitiveLayout};
 use prima_pdk::Technology;
@@ -102,6 +103,10 @@ pub struct FlowOptions {
     /// `deadline` are given, the token's deadline is tightened to whichever
     /// is earlier (visible to every clone of the token).
     pub cancel: Option<CancelToken>,
+    /// PVT corner / Monte-Carlo mismatch evaluation of surviving
+    /// candidates. Off by default: a zero-corner run takes exactly the
+    /// nominal-only path and is bit-identical to it.
+    pub corners: CornerPolicy,
 }
 
 impl Default for FlowOptions {
@@ -114,6 +119,7 @@ impl Default for FlowOptions {
             solver: SolverLimits::default(),
             deadline: None,
             cancel: None,
+            corners: CornerPolicy::Off,
         }
     }
 }
@@ -174,6 +180,11 @@ pub struct FlowOutcome {
     /// cold-starting the affected entries. Also recorded as resilience
     /// degradations; never fatal.
     pub cache_diagnostics: Vec<Violation>,
+    /// Variation results, when [`FlowOptions::corners`] enabled the sweep:
+    /// per-corner measures and worst-case margins per instance, the
+    /// Monte-Carlo yield estimate (seed recorded), and any `CORNER.*`
+    /// degradations (also mirrored into `resilience`).
+    pub corners: Option<CornerReport>,
 }
 
 /// Fallback supply-rail series resistance when the power grid cannot be
@@ -518,6 +529,7 @@ pub fn conventional_flow(
         resilience: ResilienceReport::default(),
         cache: None,
         cache_diagnostics: Vec::new(),
+        corners: None,
     })
 }
 
@@ -607,7 +619,7 @@ fn effective_cancel(options: &FlowOptions) -> Option<CancelToken> {
 }
 
 /// Cooperative stage-boundary checkpoint: a no-op without a token.
-fn checkpoint(cancel: &Option<CancelToken>) -> Result<(), FlowError> {
+pub(crate) fn checkpoint(cancel: &Option<CancelToken>) -> Result<(), FlowError> {
     match cancel {
         Some(t) => t.check().map_err(FlowError::from),
         None => Ok(()),
@@ -638,24 +650,24 @@ fn first_error(report: &VerifyReport) -> String {
 /// ranked aspect-ratio bins from Algorithm 1, the fallback cursor, the
 /// currently active (tuned) candidate per bin, and which bins have been
 /// exhausted and dropped.
-struct InstState {
+pub(crate) struct InstState {
     /// Primitive definition name (the [`EvalLedger`] key).
-    def: String,
+    pub(crate) def: String,
     /// Bias record the candidates were evaluated under.
-    bias: Bias,
+    pub(crate) bias: Bias,
     /// Ranked candidates per aspect-ratio bin, best-first.
-    bins: Vec<BinRanked>,
+    pub(crate) bins: Vec<BinRanked>,
     /// Which rank each bin currently fields.
-    cursor: RepairCursor,
+    pub(crate) cursor: RepairCursor,
     /// The active (tuned) candidate and its cost, one per bin.
-    active: Vec<(PrimitiveLayout, f64)>,
+    pub(crate) active: Vec<(PrimitiveLayout, f64)>,
     /// Bins dropped after exhausting their fallbacks.
-    dead: Vec<bool>,
+    pub(crate) dead: Vec<bool>,
 }
 
 /// Tunes one selected candidate when tuning is enabled; a tuning failure
 /// degrades to the untuned candidate instead of aborting the flow.
-fn tuned_candidate(
+pub(crate) fn tuned_candidate(
     opt: &Optimizer,
     def: &PrimitiveDef,
     bias: &Bias,
@@ -750,8 +762,11 @@ fn run_flow(
     };
 
     let mut opt = Optimizer::new(tech);
-    if let Some(cache) = open_cache(&options.cache, tech) {
-        opt.set_cache(cache);
+    // The Arc is kept: corner-perturbed optimizers share the same store
+    // under their own key address space (see `Optimizer::set_cache`).
+    let cache_arc = open_cache(&options.cache, tech);
+    if let Some(cache) = &cache_arc {
+        opt.set_cache(cache.clone());
     }
     opt.set_solver_limits(options.solver.clone());
     if let Some(token) = &cancel {
@@ -859,6 +874,31 @@ fn run_flow(
             },
         ));
     }
+
+    // ---- Variation stage: PVT corner gating + Monte-Carlo mismatch ------
+    // Runs between selection/tuning and placement: surviving bin
+    // candidates are re-evaluated across the enabled corner set and gated
+    // on worst-case satisfaction, with corner-only failures repaired by
+    // next-best-candidate fallback under the corner budget. Exhaustion
+    // degrades (CORNER.* diagnostics), never errors; cancellation unwinds.
+    let corner_report = match &options.corners {
+        CornerPolicy::Off => None,
+        CornerPolicy::Sweep(copts) => Some(crate::corners::corner_stage(
+            &crate::corners::CornerCtx {
+                tech,
+                lib,
+                opt: &opt,
+                copts,
+                tuning: options.tuning,
+                solver: &options.solver,
+                cache: cache_arc.clone(),
+                cancel: &cancel,
+            },
+            &mut states,
+            &mut ledger,
+            &mut resilience,
+        )?),
+    };
 
     // One detail router for the whole run: injected route faults are
     // consumed by the attempt that trips over them and stay consumed, so a
@@ -1039,6 +1079,7 @@ fn run_flow(
         sims.insert("selection", opt.counter().count(Phase::Selection));
         sims.insert("tuning", opt.counter().count(Phase::Tuning));
         sims.insert("ports", opt.counter().count(Phase::PortConstraints));
+        sims.insert("corners", opt.counter().count(Phase::Corners));
 
         // Hand the reconciled widths to the detailed router (paper §I: "the
         // optimized widths are a requirement for the detailed router"),
@@ -1196,6 +1237,7 @@ fn run_flow(
                 resilience,
                 cache: cache_stats,
                 cache_diagnostics,
+                corners: corner_report.clone(),
             });
         };
         if gate_attempt >= budgets.gate_attempts {

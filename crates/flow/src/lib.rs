@@ -26,6 +26,7 @@
 
 pub mod builder;
 pub mod circuits;
+mod corners;
 mod electrical;
 pub mod flows;
 pub mod preflight;
@@ -50,6 +51,10 @@ pub use prima_cache::{CacheHub, CachePolicy, CacheStats, Namespace};
 pub use prima_core::{
     CancelReason, CancelToken, Cancelled, FaultPlan, Health, RepairBudgets, RequestReport,
     ResilienceReport, ServeOutcome, ServeReport, SolverLimits,
+};
+pub use prima_corners::{
+    corner_bias, instance_fingerprint, CornerMeasure, CornerOptions, CornerPolicy, CornerReport,
+    InstanceCorners, McYield, MismatchDraw, MismatchSampler,
 };
 
 /// Errors from circuit assembly and flow execution.

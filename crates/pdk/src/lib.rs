@@ -35,6 +35,10 @@
 use prima_spice::devices::{FetModel, FetPolarity};
 use serde::{Deserialize, Serialize};
 
+pub mod corners;
+
+pub use corners::{CornerBounds, CornerSet, CornerSpec};
+
 /// Nanometres (matches `prima_geom::Nm`; re-declared here to keep the PDK
 /// crate independent of geometry).
 pub type Nm = i64;
@@ -504,6 +508,10 @@ pub struct Technology {
     pub rules: DesignRules,
     /// Electrical sign-off limits (EM, IR, symmetry, well taps).
     pub electrical: ElectricalRules,
+    /// Named PVT corner table (may be empty on decks without corner data;
+    /// older serialized decks deserialize with an empty table).
+    #[serde(default)]
+    pub corners: CornerSet,
 }
 
 impl Technology {
@@ -589,6 +597,7 @@ impl Technology {
         Technology {
             name: "finfet7".to_string(),
             vdd: 0.8,
+            corners: CornerSet::standard_finfet7(),
             fin,
             metals,
             rules,
@@ -726,6 +735,7 @@ impl Technology {
         Technology {
             name: "bulk16".to_string(),
             vdd: 0.9,
+            corners: CornerSet::standard_bulk16(),
             fin,
             metals,
             rules,
@@ -865,6 +875,7 @@ impl Technology {
         Technology {
             name: "sky130ish".to_string(),
             vdd: 1.8,
+            corners: CornerSet::standard_sky130ish(),
             fin,
             metals,
             rules,
@@ -1039,6 +1050,39 @@ impl Technology {
             FetPolarity::Pmos => &self.pmos,
         }
     }
+
+    /// The deck perturbed to one PVT corner: model thresholds shifted,
+    /// transconductance scaled, supply scaled, junction temperature
+    /// retargeted. Geometry, design rules, and the metal stack are
+    /// untouched, so layouts and routes generated at nominal remain valid
+    /// at every corner — only electrical evaluation changes.
+    pub fn apply_corner(&self, c: &CornerSpec) -> Technology {
+        let mut t = self.clone();
+        t.vdd *= c.vdd_scale;
+        t.nmos.vth0 += c.nmos_vth_shift_v;
+        t.pmos.vth0 += c.pmos_vth_shift_v;
+        t.nmos.kp *= c.nmos_kp_scale;
+        t.pmos.kp *= c.pmos_kp_scale;
+        if let Some(temp) = c.temp_c {
+            t.nmos = t.nmos.at_temperature(temp);
+            t.pmos = t.pmos.at_temperature(temp);
+        }
+        t
+    }
+
+    /// The deck perturbed by one local-mismatch draw: an additive
+    /// threshold shift and a multiplicative mobility (kp) scale applied to
+    /// both polarities. Used by the Monte-Carlo sampler to evaluate one
+    /// instance under one sampled deviation; supply and temperature stay
+    /// nominal.
+    pub fn apply_mismatch(&self, delta_vth_v: f64, mobility_scale: f64) -> Technology {
+        let mut t = self.clone();
+        t.nmos.vth0 += delta_vth_v;
+        t.pmos.vth0 += delta_vth_v;
+        t.nmos.kp *= mobility_scale;
+        t.pmos.kp *= mobility_scale;
+        t
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -1176,6 +1220,7 @@ impl Fingerprintable for Technology {
         self.pmos.feed(h);
         self.rules.feed(h);
         self.electrical.feed(h);
+        self.corners.feed(h);
     }
 }
 

@@ -22,6 +22,7 @@ pub(crate) fn lint_deck(tech: &Technology) -> Vec<Violation> {
     lint_lde(&tech.lde_n, "lde_n", &mut out);
     lint_lde(&tech.lde_p, "lde_p", &mut out);
     lint_variation(tech, &mut out);
+    lint_corners(tech, &mut out);
 
     if tech.metals.is_empty() {
         out.push(lint(
@@ -223,6 +224,114 @@ fn lint_variation(tech: &Technology, out: &mut Vec<Violation>) {
                 var.vth_gradient_per_um
             ),
         ));
+    }
+}
+
+/// Corner-table sanity: an empty table is fine (the deck simply ships no
+/// corners), but a non-empty one must carry an identity `tt`, unique
+/// names, and every perturbation inside the declared bounds — a broken
+/// table dies here with exact rule ids instead of surfacing as solver
+/// non-convergence three stages into a sweep.
+fn lint_corners(tech: &Technology, out: &mut Vec<Violation>) {
+    let set = &tech.corners;
+    if set.corners.is_empty() {
+        return;
+    }
+    match set.get("tt") {
+        None => out.push(lint(
+            crate::RULE_CORNER_TT,
+            RuleKind::Missing,
+            Severity::Error,
+            None,
+            format!(
+                "corner table {:?} has no \"tt\" corner; the nominal point \
+                 must be a named member so sweeps can reference it",
+                set.names()
+            ),
+        )),
+        Some(tt) if !tt.is_identity() => out.push(lint(
+            crate::RULE_CORNER_TT,
+            RuleKind::Lint,
+            Severity::Error,
+            Some("tt".to_string()),
+            "\"tt\" corner is not the identity: nominal must mean nominal".to_string(),
+        )),
+        Some(_) => {}
+    }
+    let names = set.names();
+    for (i, name) in names.iter().enumerate() {
+        if names[..i].contains(name) {
+            out.push(lint(
+                crate::RULE_CORNER_DUP,
+                RuleKind::Lint,
+                Severity::Error,
+                Some(name.clone()),
+                format!("corner name {name:?} appears more than once"),
+            ));
+        }
+    }
+    let b = &set.bounds;
+    let bounds_ok = b.max_vth_shift_v.is_finite()
+        && b.max_vth_shift_v >= 0.0
+        && finite_pos(b.kp_scale.0)
+        && b.kp_scale.1.is_finite()
+        && b.kp_scale.0 <= b.kp_scale.1
+        && finite_pos(b.vdd_scale.0)
+        && b.vdd_scale.1.is_finite()
+        && b.vdd_scale.0 <= b.vdd_scale.1
+        && b.temp_c.0.is_finite()
+        && b.temp_c.1.is_finite()
+        && b.temp_c.0 <= b.temp_c.1;
+    if !bounds_ok {
+        out.push(lint(
+            crate::RULE_CORNER_RANGE,
+            RuleKind::Lint,
+            Severity::Error,
+            None,
+            format!("corner bounds are malformed: {b:?}"),
+        ));
+        return;
+    }
+    for c in &set.corners {
+        let mut breach = |what: String| {
+            out.push(lint(
+                crate::RULE_CORNER_RANGE,
+                RuleKind::Lint,
+                Severity::Error,
+                Some(c.name.clone()),
+                format!("corner {:?}: {what}", c.name),
+            ));
+        };
+        for (tag, shift) in [
+            ("nmos_vth_shift_v", c.nmos_vth_shift_v),
+            ("pmos_vth_shift_v", c.pmos_vth_shift_v),
+        ] {
+            if !shift.is_finite() || shift.abs() > b.max_vth_shift_v {
+                breach(format!(
+                    "{tag} = {shift} V outside |shift| <= {}",
+                    b.max_vth_shift_v
+                ));
+            }
+        }
+        for (tag, scale) in [
+            ("nmos_kp_scale", c.nmos_kp_scale),
+            ("pmos_kp_scale", c.pmos_kp_scale),
+        ] {
+            if !scale.is_finite() || scale < b.kp_scale.0 || scale > b.kp_scale.1 {
+                breach(format!("{tag} = {scale} outside {:?}", b.kp_scale));
+            }
+        }
+        if !c.vdd_scale.is_finite() || c.vdd_scale < b.vdd_scale.0 || c.vdd_scale > b.vdd_scale.1 {
+            breach(format!(
+                "vdd_scale = {} outside {:?}",
+                c.vdd_scale, b.vdd_scale
+            ));
+        }
+        if let Some(t) = c.temp_c {
+            if !t.is_finite() || t < b.temp_c.0 || t > b.temp_c.1 {
+                breach(format!("temp_c = {t} °C outside {:?}", b.temp_c));
+            }
+        }
     }
 }
 
@@ -617,6 +726,58 @@ mod tests {
                 report.violations
             );
         }
+    }
+
+    #[test]
+    fn missing_tt_corner_is_rejected() {
+        let mut tech = Technology::finfet7();
+        tech.corners.corners.retain(|c| c.name != "tt");
+        let report = check_tech(&tech);
+        assert!(report.has_rule(crate::RULE_CORNER_TT));
+        assert!(!report.is_passing());
+    }
+
+    #[test]
+    fn non_identity_tt_is_rejected() {
+        let mut tech = Technology::finfet7();
+        tech.corners.corners[0].vdd_scale = 1.05;
+        let report = check_tech(&tech);
+        assert!(report.has_rule(crate::RULE_CORNER_TT));
+    }
+
+    #[test]
+    fn duplicate_corner_names_are_rejected() {
+        let mut tech = Technology::finfet7();
+        let dup = tech.corners.corners[1].clone();
+        tech.corners.corners.push(dup);
+        let report = check_tech(&tech);
+        assert!(report.has_rule(crate::RULE_CORNER_DUP));
+    }
+
+    #[test]
+    fn out_of_bounds_corner_is_rejected() {
+        let mut tech = Technology::finfet7();
+        tech.corners.corners[1].nmos_vth_shift_v = 1.0;
+        let report = check_tech(&tech);
+        assert!(report.has_rule(crate::RULE_CORNER_RANGE));
+
+        let mut tech = Technology::sky130ish();
+        tech.corners.corners[5].vdd_scale = 0.55;
+        let report = check_tech(&tech);
+        assert!(report.has_rule(crate::RULE_CORNER_RANGE));
+
+        let mut tech = Technology::bulk16();
+        tech.corners.corners[8].temp_c = Some(400.0);
+        let report = check_tech(&tech);
+        assert!(report.has_rule(crate::RULE_CORNER_RANGE));
+    }
+
+    #[test]
+    fn empty_corner_table_is_fine() {
+        let mut tech = Technology::finfet7();
+        tech.corners = prima_pdk::CornerSet::default();
+        let report = check_tech(&tech);
+        assert!(report.is_passing(), "{:#?}", report.violations);
     }
 
     #[test]

@@ -121,6 +121,14 @@ pub const RULE_FIN_GEOM: &str = "TECH.FIN.GEOM";
 pub const RULE_LDE_RANGE: &str = "TECH.LDE.RANGE";
 /// Variation (mismatch) parameter non-positive or outside its range.
 pub const RULE_VAR_RANGE: &str = "TECH.VAR.RANGE";
+/// A non-empty corner table lacks an identity `tt` corner (or its `tt` is
+/// not the identity).
+pub const RULE_CORNER_TT: &str = "TECH.CORNER.TT";
+/// Two corners in the table share a name.
+pub const RULE_CORNER_DUP: &str = "TECH.CORNER.DUP";
+/// A corner perturbs outside the deck's declared bounds (or a bound /
+/// perturbation is non-finite).
+pub const RULE_CORNER_RANGE: &str = "TECH.CORNER.RANGE";
 
 /// Deck lacks the routing layers / placement grids the cell generator needs.
 pub const RULE_LIB_PINS: &str = "LIB.PINS";
