@@ -7,7 +7,7 @@
 //!
 //! Exhibits: fig2 (≡ table1), table2, fig3, fig5, table3, table4, fig6,
 //! table5, table6, table7, table8, ablations, techlint, schem, verify,
-//! erc, resilience, cache, serve.
+//! erc, resilience, cache, serve, corners, gds.
 
 use prima_bench::*;
 
@@ -32,6 +32,7 @@ const EXHIBITS: &[&str] = &[
     "cache",
     "serve",
     "corners",
+    "gds",
 ];
 
 fn main() {
@@ -117,5 +118,8 @@ fn main() {
     }
     if run("corners") {
         println!("{}", corners_summary(&env));
+    }
+    if run("gds") {
+        println!("{}", gds_summary(&env));
     }
 }

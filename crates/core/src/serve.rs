@@ -65,6 +65,10 @@ pub struct RequestReport {
     pub service_ms: f64,
     /// Resilience health of the successful flow, when one ran to the end.
     pub health: Option<Health>,
+    /// Serialized GDS-II stream of the finished layout, when the server
+    /// was configured to stream out and the flow completed. Raw bytes —
+    /// this crate stays format-agnostic; prima-gds re-parses them.
+    pub gds: Option<Vec<u8>>,
 }
 
 impl RequestReport {
@@ -127,6 +131,7 @@ mod tests {
             queue_ms: 0.0,
             service_ms: 0.0,
             health: None,
+            gds: None,
         }
     }
 

@@ -73,6 +73,26 @@ impl VerifyPolicy {
     }
 }
 
+/// Whether the flow streams the finished layout out as a binary GDS-II
+/// library (prima-gds) and attaches it to the outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum GdsPolicy {
+    /// No stream-out (the default): the flow is bit-identical to a build
+    /// without the GDS subsystem.
+    #[default]
+    Off,
+    /// Stream out after the gates pass; a mapping or range failure aborts
+    /// the flow with [`FlowError::Gds`].
+    On,
+}
+
+impl GdsPolicy {
+    /// Whether stream-out runs under this policy.
+    pub fn enabled(self) -> bool {
+        matches!(self, GdsPolicy::On)
+    }
+}
+
 /// Switches for ablating individual steps of the optimized flow.
 ///
 /// Not `Copy`: [`CachePolicy::Persistent`] carries a path.
@@ -107,6 +127,10 @@ pub struct FlowOptions {
     /// candidates. Off by default: a zero-corner run takes exactly the
     /// nominal-only path and is bit-identical to it.
     pub corners: CornerPolicy,
+    /// Binary GDS-II stream-out of the finished layout (prima-gds). Off
+    /// by default; when on, the outcome carries a [`prima_gds::GdsArtifact`]
+    /// whose bytes re-parse to a geometrically exact copy.
+    pub gds: GdsPolicy,
 }
 
 impl Default for FlowOptions {
@@ -120,6 +144,7 @@ impl Default for FlowOptions {
             deadline: None,
             cancel: None,
             corners: CornerPolicy::Off,
+            gds: GdsPolicy::Off,
         }
     }
 }
@@ -185,6 +210,11 @@ pub struct FlowOutcome {
     /// Monte-Carlo yield estimate (seed recorded), and any `CORNER.*`
     /// degradations (also mirrored into `resilience`).
     pub corners: Option<CornerReport>,
+    /// The streamed-out GDS-II library, when [`FlowOptions::gds`] enabled
+    /// stream-out. Carries the serialized bytes plus the in-memory
+    /// [`prima_gds::GdsLibrary`] they were written from, so callers can
+    /// re-parse and diff without touching disk.
+    pub gds: Option<prima_gds::GdsArtifact>,
 }
 
 /// Fallback supply-rail series resistance when the power grid cannot be
@@ -530,6 +560,7 @@ pub fn conventional_flow(
         cache: None,
         cache_diagnostics: Vec::new(),
         corners: None,
+        gds: None,
     })
 }
 
@@ -1218,6 +1249,22 @@ fn run_flow(
         let Some((gate_name, n_errors, first, scopes)) = failure else {
             resilience.absorb_ledger(&ledger);
             let (cache_stats, cache_diagnostics) = finish_cache(opt.cache(), &mut resilience);
+            // Stream-out runs only on the gate-clean geometry, just before
+            // `placed.chosen` is moved into the realization.
+            let gds = if options.gds.enabled() {
+                Some(crate::gds::stream_out_stage(&crate::gds::GdsCtx {
+                    tech,
+                    lib,
+                    spec,
+                    chosen: &placed.chosen,
+                    rects: &placed.rects,
+                    pins: &placed.pins,
+                    bbox: placed.bbox,
+                    detailed: &detailed,
+                })?)
+            } else {
+                None
+            };
             return Ok(FlowOutcome {
                 kind,
                 techlint: techlint.clone(),
@@ -1238,6 +1285,7 @@ fn run_flow(
                 cache: cache_stats,
                 cache_diagnostics,
                 corners: corner_report.clone(),
+                gds,
             });
         };
         if gate_attempt >= budgets.gate_attempts {

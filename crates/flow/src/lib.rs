@@ -29,6 +29,7 @@ pub mod circuits;
 mod corners;
 mod electrical;
 pub mod flows;
+mod gds;
 pub mod preflight;
 
 use std::fmt;
@@ -44,7 +45,7 @@ use prima_spice::netlist::SpiceError;
 pub use builder::{build_circuit, PrimitiveInst, Realization};
 pub use flows::{
     conventional_flow, manual_flow, optimized_flow, optimized_flow_resilient, optimized_flow_with,
-    FlowKind, FlowOptions, FlowOutcome, VerifyPolicy,
+    FlowKind, FlowOptions, FlowOutcome, GdsPolicy, VerifyPolicy,
 };
 pub use preflight::{schem_preflight, techlint_preflight};
 pub use prima_cache::{CacheHub, CachePolicy, CacheStats, Namespace};
@@ -56,6 +57,7 @@ pub use prima_corners::{
     corner_bias, instance_fingerprint, CornerMeasure, CornerOptions, CornerPolicy, CornerReport,
     InstanceCorners, McYield, MismatchDraw, MismatchSampler,
 };
+pub use prima_gds::{GdsArtifact, GdsError, GdsLibrary};
 
 /// Errors from circuit assembly and flow execution.
 #[derive(Debug, Clone, PartialEq)]
@@ -119,6 +121,10 @@ pub enum FlowError {
     /// expired wall-clock deadline — and the run was abandoned at the next
     /// cooperative checkpoint. Never retried by the serving layer.
     Cancelled(Cancelled),
+    /// GDS-II stream-out failed after the gates passed — an unmapped
+    /// layer, a coordinate off the 32-bit database grid, or a unit size
+    /// outside `real8` range. Only reachable with [`GdsPolicy::On`].
+    Gds(prima_gds::GdsError),
 }
 
 impl fmt::Display for FlowError {
@@ -156,6 +162,7 @@ impl fmt::Display for FlowError {
                 "repair exhausted: {circuit} {stage} failed after {attempts} attempt(s), last: {last}"
             ),
             FlowError::Cancelled(c) => write!(f, "flow abandoned: {c}"),
+            FlowError::Gds(e) => write!(f, "gds stream-out: {e}"),
         }
     }
 }

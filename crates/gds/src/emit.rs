@@ -1,0 +1,274 @@
+//! Mapping prima's rectangle world onto GDS structures.
+//!
+//! The flow hands over a [`GdsDesign`]: per-instance cell definitions in
+//! local coordinates, placements of those cells, top-level routed
+//! rectangles, and pin labels — all on *named* stack layers. [`emit`]
+//! resolves every name through the technology's
+//! [`prima_pdk::GdsLayerMap`], range-checks every nanometre coordinate
+//! onto the signed 32-bit database grid, and produces a [`GdsLibrary`]
+//! with referenced structures preceding the top structure.
+
+use prima_geom::{Nm, Point, Rect};
+use prima_pdk::Technology;
+
+use crate::model::{GdsElement, GdsLibrary, GdsStructure};
+use crate::GdsError;
+
+/// One cell definition: geometry in cell-local coordinates on named
+/// stack layers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GdsCellDef {
+    /// Structure name (an instance name; must be unique per design).
+    pub name: String,
+    /// Drawn rectangles, `(stack layer name, rect)`.
+    pub rects: Vec<(String, Rect)>,
+}
+
+/// One placement of a cell in the top structure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GdsPlacement {
+    /// The referenced cell's name.
+    pub cell: String,
+    /// Placement origin in chip coordinates (nm).
+    pub at: Point,
+}
+
+/// One pin label in the top structure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GdsLabel {
+    /// Label text (a net name).
+    pub text: String,
+    /// Anchor in chip coordinates (nm).
+    pub at: Point,
+    /// Stack layer the label annotates.
+    pub layer: String,
+}
+
+/// Everything stream-out needs, still in prima vocabulary (named layers,
+/// nanometre `Rect`s).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GdsDesign {
+    /// Library name; the top structure is named `<name>_top`.
+    pub name: String,
+    /// Cell definitions, one per placed instance.
+    pub cells: Vec<GdsCellDef>,
+    /// Cell placements in the top structure.
+    pub placements: Vec<GdsPlacement>,
+    /// Top-level rectangles (routed tracks, the design outline).
+    pub top_rects: Vec<(String, Rect)>,
+    /// Pin labels.
+    pub labels: Vec<GdsLabel>,
+}
+
+/// A finished stream-out: the in-memory library (the round-trip diffing
+/// reference) plus its serialized bytes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GdsArtifact {
+    /// The library as emitted — diff re-parses against this.
+    pub library: GdsLibrary,
+    /// The binary GDS-II stream (`library.to_bytes()`).
+    pub bytes: Vec<u8>,
+    /// Name of the top structure.
+    pub top: String,
+}
+
+/// Replaces characters GDS-II forbids in names with `_`. Empty names
+/// become `_`.
+pub fn sanitize_name(s: &str) -> String {
+    let out: String = s
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == '?' || c == '$' || c == '.' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if out.is_empty() {
+        "_".to_string()
+    } else {
+        out
+    }
+}
+
+fn to_i32(v: Nm) -> Result<i32, GdsError> {
+    i32::try_from(v).map_err(|_| GdsError::CoordOverflow { value: v })
+}
+
+fn rect_ring(r: &Rect) -> Result<Vec<(i32, i32)>, GdsError> {
+    let (x0, y0) = (to_i32(r.lo.x)?, to_i32(r.lo.y)?);
+    let (x1, y1) = (to_i32(r.hi.x)?, to_i32(r.hi.y)?);
+    Ok(vec![(x0, y0), (x1, y0), (x1, y1), (x0, y1), (x0, y0)])
+}
+
+fn point(p: &Point) -> Result<(i32, i32), GdsError> {
+    Ok((to_i32(p.x)?, to_i32(p.y)?))
+}
+
+fn mapped(tech: &Technology, layer: &str) -> Result<(i16, i16), GdsError> {
+    let (l, d) = tech.gds.get(layer).ok_or_else(|| GdsError::UnmappedLayer {
+        layer: layer.to_string(),
+    })?;
+    // GDS layer/datatype numbers are unsigned in the map but signed on
+    // the wire; reject assignments that would wrap.
+    match (i16::try_from(l), i16::try_from(d)) {
+        (Ok(l), Ok(d)) => Ok((l, d)),
+        _ => Err(GdsError::BadPayload {
+            offset: 0,
+            what: format!("layer map assigns ({l}, {d}) to {layer:?}, outside the i16 wire range"),
+        }),
+    }
+}
+
+/// Builds the in-memory [`GdsLibrary`] for a design on a technology.
+///
+/// # Errors
+///
+/// [`GdsError::UnmappedLayer`] when a named layer has no map entry on the
+/// deck, [`GdsError::CoordOverflow`] when a coordinate leaves the 32-bit
+/// grid, and [`GdsError::BadReal`] for unit sizes outside `real8` range.
+pub fn emit(tech: &Technology, design: &GdsDesign) -> Result<GdsLibrary, GdsError> {
+    let mut structures = Vec::with_capacity(design.cells.len() + 1);
+    for cell in &design.cells {
+        let mut elements = Vec::with_capacity(cell.rects.len());
+        for (layer, rect) in &cell.rects {
+            let (l, d) = mapped(tech, layer)?;
+            elements.push(GdsElement::Boundary {
+                layer: l,
+                datatype: d,
+                xy: rect_ring(rect)?,
+            });
+        }
+        structures.push(GdsStructure {
+            name: sanitize_name(&cell.name),
+            elements,
+        });
+    }
+
+    let mut top = Vec::new();
+    for (layer, rect) in &design.top_rects {
+        let (l, d) = mapped(tech, layer)?;
+        top.push(GdsElement::Boundary {
+            layer: l,
+            datatype: d,
+            xy: rect_ring(rect)?,
+        });
+    }
+    for p in &design.placements {
+        top.push(GdsElement::Sref {
+            structure: sanitize_name(&p.cell),
+            origin: point(&p.at)?,
+        });
+    }
+    for label in &design.labels {
+        let (l, d) = mapped(tech, &label.layer)?;
+        top.push(GdsElement::Text {
+            layer: l,
+            texttype: d,
+            origin: point(&label.at)?,
+            text: label.text.clone(),
+        });
+    }
+    let lib_name = sanitize_name(&design.name);
+    let top_name = format!("{lib_name}_top");
+    structures.push(GdsStructure {
+        name: top_name,
+        elements: top,
+    });
+
+    Ok(GdsLibrary {
+        name: lib_name.clone(),
+        unit_in_user: tech.gds.unit_in_user,
+        unit_in_m: tech.gds.unit_in_m,
+        structures,
+    })
+}
+
+/// Emits and serializes in one step, returning the artifact the flow
+/// attaches to its outcome.
+pub fn stream_out(tech: &Technology, design: &GdsDesign) -> Result<GdsArtifact, GdsError> {
+    let library = emit(tech, design)?;
+    let bytes = library.to_bytes()?;
+    let top = format!("{}_top", sanitize_name(&design.name));
+    Ok(GdsArtifact {
+        library,
+        bytes,
+        top,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diff::diff;
+
+    fn design() -> GdsDesign {
+        GdsDesign {
+            name: "unit test".to_string(), // space gets sanitized
+            cells: vec![GdsCellDef {
+                name: "dp0".to_string(),
+                rects: vec![
+                    (
+                        "diff".to_string(),
+                        Rect::from_size(Point::new(0, 0), 200, 50),
+                    ),
+                    ("M1".to_string(), Rect::from_size(Point::new(10, 0), 8, 90)),
+                ],
+            }],
+            placements: vec![GdsPlacement {
+                cell: "dp0".to_string(),
+                at: Point::new(1000, 2000),
+            }],
+            top_rects: vec![(
+                "boundary".to_string(),
+                Rect::from_size(Point::new(0, 0), 4000, 4000),
+            )],
+            labels: vec![GdsLabel {
+                text: "vout".to_string(),
+                at: Point::new(1010, 2010),
+                layer: "M1".to_string(),
+            }],
+        }
+    }
+
+    #[test]
+    fn stream_out_roundtrips_exactly() {
+        let tech = Technology::finfet7();
+        let art = stream_out(&tech, &design()).unwrap();
+        let back = GdsLibrary::from_bytes(&art.bytes).unwrap();
+        assert_eq!(diff(&art.library, &back), Vec::new());
+        assert_eq!(
+            back.structure("unit_test_top").map(|s| s.elements.len()),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn unmapped_layer_is_typed() {
+        let tech = Technology::finfet7();
+        let mut d = design();
+        d.top_rects
+            .push(("M99".to_string(), Rect::from_size(Point::new(0, 0), 1, 1)));
+        assert_eq!(
+            emit(&tech, &d),
+            Err(GdsError::UnmappedLayer {
+                layer: "M99".to_string()
+            })
+        );
+    }
+
+    #[test]
+    fn coordinate_overflow_is_typed() {
+        let tech = Technology::finfet7();
+        let mut d = design();
+        d.top_rects.push((
+            "diff".to_string(),
+            Rect::from_size(Point::new(0, 0), 3_000_000_000, 1),
+        ));
+        assert!(matches!(
+            emit(&tech, &d),
+            Err(GdsError::CoordOverflow { .. })
+        ));
+    }
+}

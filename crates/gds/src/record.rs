@@ -1,0 +1,384 @@
+//! The GDS-II wire format, one record at a time.
+//!
+//! Every record is `[u16 big-endian length][u8 record type][u8 data type]`
+//! followed by the payload; the length counts all four header bytes and is
+//! always even. Integers are big-endian two's complement, strings are
+//! printable ASCII padded to even length with a trailing NUL, and the
+//! UNITS record uses the excess-64 base-16 `real8` float inherited from
+//! the IBM System/360.
+
+use crate::GdsError;
+
+/// Record-type bytes — the subset prima emits and accepts.
+pub mod rectype {
+    /// Stream version header.
+    pub const HEADER: u8 = 0x00;
+    /// Library begin (modification timestamps).
+    pub const BGNLIB: u8 = 0x01;
+    /// Library name.
+    pub const LIBNAME: u8 = 0x02;
+    /// Database/user unit sizes.
+    pub const UNITS: u8 = 0x03;
+    /// Library end.
+    pub const ENDLIB: u8 = 0x04;
+    /// Structure begin (timestamps).
+    pub const BGNSTR: u8 = 0x05;
+    /// Structure name.
+    pub const STRNAME: u8 = 0x06;
+    /// Structure end.
+    pub const ENDSTR: u8 = 0x07;
+    /// Filled-polygon element.
+    pub const BOUNDARY: u8 = 0x08;
+    /// Structure-reference element.
+    pub const SREF: u8 = 0x0A;
+    /// Text/label element.
+    pub const TEXT: u8 = 0x0C;
+    /// Layer number.
+    pub const LAYER: u8 = 0x0D;
+    /// Datatype number.
+    pub const DATATYPE: u8 = 0x0E;
+    /// Coordinate list.
+    pub const XY: u8 = 0x10;
+    /// Element end.
+    pub const ENDEL: u8 = 0x11;
+    /// Referenced-structure name.
+    pub const SNAME: u8 = 0x12;
+    /// Texttype number.
+    pub const TEXTTYPE: u8 = 0x16;
+    /// Label string.
+    pub const STRING: u8 = 0x19;
+}
+
+/// Data-type bytes.
+pub mod datatype {
+    /// No payload.
+    pub const NONE: u8 = 0x00;
+    /// 16-bit signed integers.
+    pub const I16: u8 = 0x02;
+    /// 32-bit signed integers.
+    pub const I32: u8 = 0x03;
+    /// 8-byte excess-64 reals.
+    pub const REAL8: u8 = 0x05;
+    /// ASCII string.
+    pub const ASCII: u8 = 0x06;
+}
+
+/// 2^56, the `real8` mantissa scale.
+const MANT_SCALE: f64 = 72_057_594_037_927_936.0;
+
+/// Encodes a finite float as the 8-byte excess-64 base-16 real:
+/// `sign * (mantissa / 2^56) * 16^(exponent - 64)` with the mantissa
+/// normalized into `[1/16, 1)`. The normalization only multiplies by
+/// powers of two, so every in-range `f64` (53-bit mantissa vs the format's
+/// 56) survives encode → decode bit for bit.
+pub fn encode_real8(v: f64) -> Result<[u8; 8], GdsError> {
+    if !v.is_finite() {
+        return Err(GdsError::BadReal { value: v });
+    }
+    if v == 0.0 {
+        return Ok([0u8; 8]);
+    }
+    let sign: u8 = if v.is_sign_negative() { 0x80 } else { 0x00 };
+    let mut m = v.abs();
+    let mut e: i32 = 64;
+    while m >= 1.0 {
+        m /= 16.0;
+        e += 1;
+    }
+    while m < 0.0625 {
+        m *= 16.0;
+        e -= 1;
+    }
+    if !(0..=127).contains(&e) {
+        return Err(GdsError::BadReal { value: v });
+    }
+    let mant = ((m * MANT_SCALE) as u64).min((1u64 << 56) - 1);
+    let mut out = [0u8; 8];
+    out[0] = sign | (e as u8);
+    for (i, byte) in out.iter_mut().skip(1).enumerate() {
+        *byte = ((mant >> (8 * (6 - i))) & 0xFF) as u8;
+    }
+    Ok(out)
+}
+
+/// Decodes an 8-byte excess-64 real. Total: every bit pattern maps to a
+/// float (a zero mantissa is zero regardless of the exponent byte).
+pub fn decode_real8(b: &[u8; 8]) -> f64 {
+    let sign = if b[0] & 0x80 != 0 { -1.0 } else { 1.0 };
+    let e = (b[0] & 0x7F) as i32 - 64;
+    let mut mant: u64 = 0;
+    for &byte in b.iter().skip(1) {
+        mant = (mant << 8) | u64::from(byte);
+    }
+    if mant == 0 {
+        return 0.0;
+    }
+    sign * (mant as f64 / MANT_SCALE) * 16f64.powi(e)
+}
+
+/// Whether a name is legal for GDS LIBNAME/STRNAME/SNAME records.
+pub fn legal_name(s: &str) -> bool {
+    !s.is_empty()
+        && s.bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'?' || b == b'$' || b == b'.')
+}
+
+/// Appends one record (header + payload) to `out`.
+pub fn push_record(out: &mut Vec<u8>, rt: u8, dt: u8, payload: &[u8]) -> Result<(), GdsError> {
+    // The length field is a u16 counting the 4 header bytes and must stay
+    // even; the payloads this crate produces are even by construction.
+    let total = payload.len() + 4;
+    if total > usize::from(u16::MAX) || !payload.len().is_multiple_of(2) {
+        return Err(GdsError::RecordTooLong {
+            payload: payload.len(),
+        });
+    }
+    out.extend_from_slice(&(total as u16).to_be_bytes());
+    out.push(rt);
+    out.push(dt);
+    out.extend_from_slice(payload);
+    Ok(())
+}
+
+/// Appends a record of 16-bit integers.
+pub fn push_i16_record(out: &mut Vec<u8>, rt: u8, vals: &[i16]) -> Result<(), GdsError> {
+    let mut payload = Vec::with_capacity(vals.len() * 2);
+    for v in vals {
+        payload.extend_from_slice(&v.to_be_bytes());
+    }
+    push_record(out, rt, datatype::I16, &payload)
+}
+
+/// Appends a record of 32-bit integers.
+pub fn push_i32_record(out: &mut Vec<u8>, rt: u8, vals: &[i32]) -> Result<(), GdsError> {
+    let mut payload = Vec::with_capacity(vals.len() * 4);
+    for v in vals {
+        payload.extend_from_slice(&v.to_be_bytes());
+    }
+    push_record(out, rt, datatype::I32, &payload)
+}
+
+/// Appends a record of `real8` floats.
+pub fn push_real8_record(out: &mut Vec<u8>, rt: u8, vals: &[f64]) -> Result<(), GdsError> {
+    let mut payload = Vec::with_capacity(vals.len() * 8);
+    for &v in vals {
+        payload.extend_from_slice(&encode_real8(v)?);
+    }
+    push_record(out, rt, datatype::REAL8, &payload)
+}
+
+/// Appends an ASCII-string record, NUL-padding odd lengths to even.
+pub fn push_str_record(out: &mut Vec<u8>, rt: u8, s: &str) -> Result<(), GdsError> {
+    if !s.bytes().all(|b| (0x20..=0x7E).contains(&b)) || s.is_empty() {
+        return Err(GdsError::BadName {
+            name: s.to_string(),
+        });
+    }
+    let mut payload = s.as_bytes().to_vec();
+    if !payload.len().is_multiple_of(2) {
+        payload.push(0);
+    }
+    push_record(out, rt, datatype::ASCII, &payload)
+}
+
+/// One record as read from a stream, borrowing its payload.
+#[derive(Debug, Clone, Copy)]
+pub struct RawRecord<'a> {
+    /// Byte offset of the record header in the stream.
+    pub offset: usize,
+    /// Record-type byte.
+    pub rectype: u8,
+    /// Data-type byte.
+    pub datatype: u8,
+    /// Payload bytes (header excluded).
+    pub payload: &'a [u8],
+}
+
+impl<'a> RawRecord<'a> {
+    fn check_datatype(&self, expected: u8) -> Result<(), GdsError> {
+        if self.datatype != expected {
+            return Err(GdsError::BadDataType {
+                offset: self.offset,
+                found: self.datatype,
+                expected,
+            });
+        }
+        Ok(())
+    }
+
+    /// Payload as 16-bit integers.
+    pub fn i16s(&self) -> Result<Vec<i16>, GdsError> {
+        self.check_datatype(datatype::I16)?;
+        // Payload length is even by the record-length check; pair up.
+        Ok(self
+            .payload
+            .chunks_exact(2)
+            .map(|c| i16::from_be_bytes([c[0], c[1]]))
+            .collect())
+    }
+
+    /// Payload as 32-bit integers.
+    pub fn i32s(&self) -> Result<Vec<i32>, GdsError> {
+        self.check_datatype(datatype::I32)?;
+        if !self.payload.len().is_multiple_of(4) {
+            return Err(GdsError::BadPayload {
+                offset: self.offset,
+                what: format!("i32 payload of {} bytes", self.payload.len()),
+            });
+        }
+        Ok(self
+            .payload
+            .chunks_exact(4)
+            .map(|c| i32::from_be_bytes([c[0], c[1], c[2], c[3]]))
+            .collect())
+    }
+
+    /// Payload as `real8` floats.
+    pub fn real8s(&self) -> Result<Vec<f64>, GdsError> {
+        self.check_datatype(datatype::REAL8)?;
+        if !self.payload.len().is_multiple_of(8) {
+            return Err(GdsError::BadPayload {
+                offset: self.offset,
+                what: format!("real8 payload of {} bytes", self.payload.len()),
+            });
+        }
+        Ok(self
+            .payload
+            .chunks_exact(8)
+            .map(|c| {
+                let mut b = [0u8; 8];
+                b.copy_from_slice(c);
+                decode_real8(&b)
+            })
+            .collect())
+    }
+
+    /// Payload as an ASCII string, trailing NUL padding stripped.
+    pub fn ascii(&self) -> Result<String, GdsError> {
+        self.check_datatype(datatype::ASCII)?;
+        let mut bytes = self.payload;
+        while let [rest @ .., 0] = bytes {
+            bytes = rest;
+        }
+        if !bytes.iter().all(|b| (0x20..=0x7E).contains(b)) {
+            return Err(GdsError::BadString {
+                offset: self.offset,
+            });
+        }
+        String::from_utf8(bytes.to_vec()).map_err(|_| GdsError::BadString {
+            offset: self.offset,
+        })
+    }
+
+    /// Payload as exactly one 16-bit integer.
+    pub fn single_i16(&self) -> Result<i16, GdsError> {
+        let vals = self.i16s()?;
+        match vals.as_slice() {
+            [v] => Ok(*v),
+            other => Err(GdsError::BadPayload {
+                offset: self.offset,
+                what: format!("expected one i16, found {}", other.len()),
+            }),
+        }
+    }
+
+    /// Payload as XY coordinate pairs.
+    pub fn xy_pairs(&self) -> Result<Vec<(i32, i32)>, GdsError> {
+        let vals = self.i32s()?;
+        if vals.len() % 2 != 0 || vals.is_empty() {
+            return Err(GdsError::BadPayload {
+                offset: self.offset,
+                what: format!("XY record with {} coordinates", vals.len()),
+            });
+        }
+        Ok(vals.chunks_exact(2).map(|c| (c[0], c[1])).collect())
+    }
+}
+
+/// Reads the record at `*pos`, advancing `pos` past it. Bounds- and
+/// shape-checked: a short buffer, a length below the 4-byte header, or an
+/// odd length is a typed error.
+pub fn read_record<'a>(buf: &'a [u8], pos: &mut usize) -> Result<RawRecord<'a>, GdsError> {
+    let offset = *pos;
+    if buf.len().saturating_sub(offset) < 4 {
+        return Err(GdsError::Truncated { offset });
+    }
+    let length = u16::from_be_bytes([buf[offset], buf[offset + 1]]);
+    let len = usize::from(length);
+    if len < 4 || len % 2 != 0 {
+        return Err(GdsError::BadRecordLength { offset, length });
+    }
+    if offset + len > buf.len() {
+        return Err(GdsError::Truncated { offset });
+    }
+    let rec = RawRecord {
+        offset,
+        rectype: buf[offset + 2],
+        datatype: buf[offset + 3],
+        payload: &buf[offset + 4..offset + len],
+    };
+    *pos = offset + len;
+    Ok(rec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real8_roundtrips_the_standard_units() {
+        for v in [1e-3, 1e-9, 1.0, 0.0, -2.5e-7, 0.001953125] {
+            let enc = encode_real8(v).unwrap();
+            assert_eq!(decode_real8(&enc), v, "real8 roundtrip of {v}");
+        }
+    }
+
+    #[test]
+    fn real8_rejects_out_of_range() {
+        assert!(matches!(
+            encode_real8(f64::NAN),
+            Err(GdsError::BadReal { .. })
+        ));
+        assert!(matches!(
+            encode_real8(f64::MAX),
+            Err(GdsError::BadReal { .. })
+        ));
+    }
+
+    #[test]
+    fn odd_strings_pad_and_strip() {
+        let mut out = Vec::new();
+        push_str_record(&mut out, rectype::LIBNAME, "odd").unwrap();
+        assert_eq!(out.len() % 2, 0);
+        let mut pos = 0;
+        let rec = read_record(&out, &mut pos).unwrap();
+        assert_eq!(rec.ascii().unwrap(), "odd");
+        assert_eq!(pos, out.len());
+    }
+
+    #[test]
+    fn truncated_header_and_payload_are_typed() {
+        let mut out = Vec::new();
+        push_i16_record(&mut out, rectype::HEADER, &[600]).unwrap();
+        let mut pos = 0;
+        assert!(matches!(
+            read_record(&out[..3], &mut pos),
+            Err(GdsError::Truncated { offset: 0 })
+        ));
+        let mut pos = 0;
+        assert!(matches!(
+            read_record(&out[..5], &mut pos),
+            Err(GdsError::Truncated { offset: 0 })
+        ));
+    }
+
+    #[test]
+    fn odd_record_length_is_rejected() {
+        let buf = [0x00u8, 0x05, 0x00, 0x02, 0x00];
+        let mut pos = 0;
+        assert!(matches!(
+            read_record(&buf, &mut pos),
+            Err(GdsError::BadRecordLength { length: 5, .. })
+        ));
+    }
+}

@@ -36,8 +36,10 @@ use prima_spice::devices::{FetModel, FetPolarity};
 use serde::{Deserialize, Serialize};
 
 pub mod corners;
+pub mod gdsmap;
 
 pub use corners::{CornerBounds, CornerSet, CornerSpec};
+pub use gdsmap::{GdsLayerEntry, GdsLayerMap, GDS_FEOL_LAYERS};
 
 /// Nanometres (matches `prima_geom::Nm`; re-declared here to keep the PDK
 /// crate independent of geometry).
@@ -512,6 +514,13 @@ pub struct Technology {
     /// older serialized decks deserialize with an empty table).
     #[serde(default)]
     pub corners: CornerSet,
+    /// GDS-II stream-out layer mapping: unit sizes plus the layer/datatype
+    /// pair for every drawn stack layer. Part of the deck fingerprint —
+    /// editing it invalidates cached evaluations. Older serialized decks
+    /// deserialize with an empty map, which techlint's `TECH.GDS.COVERAGE`
+    /// rejects before any stream-out.
+    #[serde(default)]
+    pub gds: GdsLayerMap,
 }
 
 impl Technology {
@@ -598,6 +607,7 @@ impl Technology {
             name: "finfet7".to_string(),
             vdd: 0.8,
             corners: CornerSet::standard_finfet7(),
+            gds: GdsLayerMap::derive(&metals),
             fin,
             metals,
             rules,
@@ -736,6 +746,7 @@ impl Technology {
             name: "bulk16".to_string(),
             vdd: 0.9,
             corners: CornerSet::standard_bulk16(),
+            gds: GdsLayerMap::derive(&metals),
             fin,
             metals,
             rules,
@@ -876,6 +887,7 @@ impl Technology {
             name: "sky130ish".to_string(),
             vdd: 1.8,
             corners: CornerSet::standard_sky130ish(),
+            gds: GdsLayerMap::derive(&metals),
             fin,
             metals,
             rules,
@@ -1221,6 +1233,7 @@ impl Fingerprintable for Technology {
         self.rules.feed(h);
         self.electrical.feed(h);
         self.corners.feed(h);
+        self.gds.feed(h);
     }
 }
 

@@ -61,7 +61,9 @@ use prima_core::{
     FaultPlan, Health, RepairBudgets, RequestReport, ServeOutcome, ServeReport, SolverLimits,
 };
 use prima_flow::circuits::CircuitSpec;
-use prima_flow::{optimized_flow_resilient, CachePolicy, FlowError, FlowOptions, VerifyPolicy};
+use prima_flow::{
+    optimized_flow_resilient, CachePolicy, FlowError, FlowOptions, GdsPolicy, VerifyPolicy,
+};
 use prima_pdk::Technology;
 use prima_primitives::{Bias, Library, TESTBENCH_VERSION};
 
@@ -115,6 +117,10 @@ pub struct ServeConfig {
     pub cache_dir: Option<PathBuf>,
     /// Per-namespace cache entry capacity override (eviction tests).
     pub namespace_capacity: Option<usize>,
+    /// Stream finished layouts out as binary GDS-II and attach the bytes
+    /// to each completed request's report (an optional artifact; off by
+    /// default so responses stay small).
+    pub gds: bool,
 }
 
 impl Default for ServeConfig {
@@ -129,6 +135,7 @@ impl Default for ServeConfig {
             verify: VerifyPolicy::default(),
             cache_dir: None,
             namespace_capacity: None,
+            gds: false,
         }
     }
 }
@@ -478,6 +485,7 @@ impl BatchServer {
                         queue_ms: 0.0,
                         service_ms: 0.0,
                         health: None,
+                        gds: None,
                     };
                     lock(&inner.resolved).push(rejected);
                     return Err(ServeError::Overloaded { capacity });
@@ -656,6 +664,7 @@ fn base_report(
         queue_ms: queued_for.as_secs_f64() * 1e3,
         service_ms: serviced_for.as_secs_f64() * 1e3,
         health,
+        gds: None,
     }
 }
 
@@ -723,6 +732,11 @@ fn run_request(inner: &Inner, q: Queued) -> RequestReport {
             solver: inner.config.solver.clone(),
             cache: CachePolicy::Shared(Arc::clone(&cache)),
             cancel: Some(q.token.clone()),
+            gds: if inner.config.gds {
+                GdsPolicy::On
+            } else {
+                GdsPolicy::Off
+            },
             ..FlowOptions::default()
         };
         let result = optimized_flow_resilient(
@@ -748,7 +762,7 @@ fn run_request(inner: &Inner, q: Queued) -> RequestReport {
                         ),
                     ),
                 };
-                return base_report(
+                let mut report = base_report(
                     &q,
                     outcome,
                     detail,
@@ -757,6 +771,8 @@ fn run_request(inner: &Inner, q: Queued) -> RequestReport {
                     started.elapsed(),
                     Some(health),
                 );
+                report.gds = out.gds.map(|a| a.bytes);
+                return report;
             }
             Err(FlowError::Cancelled(c)) => {
                 return base_report(

@@ -8,7 +8,7 @@
 //! as non-increasing up the stack when trading off wire layers.
 
 use prima_core::diagnostics::{RuleKind, Severity, Violation};
-use prima_pdk::{LdeParams, RouteDir, Technology};
+use prima_pdk::{GdsLayerMap, LdeParams, RouteDir, Technology};
 
 use crate::lint;
 
@@ -42,6 +42,7 @@ pub(crate) fn lint_deck(tech: &Technology) -> Vec<Violation> {
     lint_vias(tech, &mut out);
     lint_em_tables(tech, &mut out);
     lint_grid_divisibility(tech, &mut out);
+    lint_gds_map(tech, &mut out);
 
     out
 }
@@ -706,6 +707,63 @@ fn lint_grid_divisibility(tech: &Technology, out: &mut Vec<Violation>) {
     }
 }
 
+/// GDS-II layer map: positive unit sizes, an entry for every drawn layer,
+/// and collision-free assignments. Enforced here — statically, before any
+/// simulation — so stream-out never discovers a hole in the map at the end
+/// of a multi-minute flow.
+fn lint_gds_map(tech: &Technology, out: &mut Vec<Violation>) {
+    let map = &tech.gds;
+    for (what, v) in [
+        ("unit_in_user", map.unit_in_user),
+        ("unit_in_m", map.unit_in_m),
+    ] {
+        if !finite_pos(v) {
+            out.push(lint(
+                crate::RULE_GDS_UNITS,
+                RuleKind::Lint,
+                Severity::Error,
+                None,
+                format!("gds.{what} = {v} must be positive and finite"),
+            ));
+        }
+    }
+    for name in GdsLayerMap::required_layers(&tech.metals) {
+        if map.get(&name).is_none() {
+            out.push(lint(
+                crate::RULE_GDS_COVERAGE,
+                RuleKind::Missing,
+                Severity::Error,
+                Some(name.clone()),
+                format!("drawn layer {name} has no gds layer-map entry; stream-out would fail"),
+            ));
+        }
+    }
+    for (i, a) in map.entries.iter().enumerate() {
+        for b in &map.entries[i + 1..] {
+            if a.name == b.name {
+                out.push(lint(
+                    crate::RULE_GDS_DUP,
+                    RuleKind::Lint,
+                    Severity::Error,
+                    Some(a.name.clone()),
+                    format!("gds layer map lists {} twice", a.name),
+                ));
+            } else if (a.layer, a.datatype) == (b.layer, b.datatype) {
+                out.push(lint(
+                    crate::RULE_GDS_DUP,
+                    RuleKind::Lint,
+                    Severity::Error,
+                    Some(a.name.clone()),
+                    format!(
+                        "{} and {} share gds ({}, {}); the layers would merge on stream-out",
+                        a.name, b.name, a.layer, a.datatype
+                    ),
+                ));
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -778,6 +836,42 @@ mod tests {
         tech.corners = prima_pdk::CornerSet::default();
         let report = check_tech(&tech);
         assert!(report.is_passing(), "{:#?}", report.violations);
+    }
+
+    #[test]
+    fn missing_layer_map_entry_is_rejected() {
+        let mut tech = Technology::finfet7();
+        tech.gds.entries.retain(|e| e.name != "poly");
+        let report = check_tech(&tech);
+        assert!(report.has_rule(crate::RULE_GDS_COVERAGE));
+        assert!(!report.is_passing());
+    }
+
+    #[test]
+    fn empty_layer_map_is_rejected() {
+        // What an older serialized deck deserializes to via serde(default).
+        let mut tech = Technology::sky130ish();
+        tech.gds = GdsLayerMap::default();
+        let report = check_tech(&tech);
+        assert!(report.has_rule(crate::RULE_GDS_COVERAGE));
+    }
+
+    #[test]
+    fn colliding_layer_numbers_are_rejected() {
+        let mut tech = Technology::finfet7();
+        let (l, d) = (tech.gds.entries[0].layer, tech.gds.entries[0].datatype);
+        tech.gds.entries[1].layer = l;
+        tech.gds.entries[1].datatype = d;
+        let report = check_tech(&tech);
+        assert!(report.has_rule(crate::RULE_GDS_DUP));
+    }
+
+    #[test]
+    fn bad_gds_units_are_rejected() {
+        let mut tech = Technology::bulk16();
+        tech.gds.unit_in_m = 0.0;
+        let report = check_tech(&tech);
+        assert!(report.has_rule(crate::RULE_GDS_UNITS));
     }
 
     #[test]

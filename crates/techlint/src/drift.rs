@@ -180,6 +180,11 @@ pub fn diff_techs(before: &Technology, after: &Technology) -> TechDrift {
     d.push("rules.vias", &rb.vias, &ra.vias, false);
     d.push("rules.grids", &rb.grids, &ra.grids, false);
 
+    // Stream-out interop: a layer-map change redraws nothing — existing
+    // layouts stay legal — but emitted GDS streams differ, and the
+    // fingerprint (which feeds the map) invalidates caches.
+    d.push("gds", &before.gds, &after.gds, true);
+
     d
 }
 

@@ -129,6 +129,14 @@ pub const RULE_CORNER_DUP: &str = "TECH.CORNER.DUP";
 /// A corner perturbs outside the deck's declared bounds (or a bound /
 /// perturbation is non-finite).
 pub const RULE_CORNER_RANGE: &str = "TECH.CORNER.RANGE";
+/// GDS layer-map unit sizes non-positive or non-finite.
+pub const RULE_GDS_UNITS: &str = "TECH.GDS.UNITS";
+/// A drawn/routable stack layer lacks a GDS layer-map entry; stream-out
+/// of any design touching it would fail.
+pub const RULE_GDS_COVERAGE: &str = "TECH.GDS.COVERAGE";
+/// Two layer-map entries collide — a duplicated stack-layer name or a
+/// shared GDS (layer, datatype) pair.
+pub const RULE_GDS_DUP: &str = "TECH.GDS.DUP";
 
 /// Deck lacks the routing layers / placement grids the cell generator needs.
 pub const RULE_LIB_PINS: &str = "LIB.PINS";

@@ -9,6 +9,8 @@
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use prima_core::{enumerate_configs, Optimizer, Phase};
+use prima_flow::circuits::CsAmp;
+use prima_flow::{optimized_flow_with, FlowOptions, GdsPolicy};
 use prima_pdk::Technology;
 use prima_primitives::{Bias, Library};
 
@@ -70,5 +72,25 @@ fn main() {
         "\nsimulations: selection {}, tuning {} (all independent, parallelizable)",
         opt.counter().count(Phase::Selection),
         opt.counter().count(Phase::Tuning)
+    );
+
+    // Stream the smallest benchmark circuit out to industry-standard
+    // binary GDS-II: the full optimized flow with `GdsPolicy::On` attaches
+    // the byte stream to the outcome, ready to open in KLayout.
+    println!("\n== stream-out: CS amp flow to binary GDS-II ==");
+    let spec = CsAmp::spec();
+    let biases = CsAmp::biases(&tech, &lib).expect("bias solve succeeds");
+    let options = FlowOptions {
+        gds: GdsPolicy::On,
+        ..FlowOptions::default()
+    };
+    let out = optimized_flow_with(&tech, &lib, &spec, &biases, 7, options).expect("flow succeeds");
+    let art = out.gds.expect("stream-out was enabled");
+    std::fs::write("quickstart.gds", &art.bytes).expect("quickstart.gds is writable");
+    println!(
+        "wrote quickstart.gds: {} bytes, {} structures, top cell {:?} — open it in KLayout",
+        art.bytes.len(),
+        art.library.structures.len(),
+        art.top
     );
 }
